@@ -1,0 +1,35 @@
+"""Shared benchmark plumbing.
+
+Every paper figure gets one benchmark module.  Benchmarks do two jobs:
+
+* ``pytest-benchmark`` timings of the figure's dominant computation, and
+* a printed reproduction of the figure's rows/series (the same tables the
+  CLI's ``experiment`` subcommand prints), so ``pytest benchmarks/
+  --benchmark-only -s`` regenerates every artifact in one run.
+
+Figure experiments are minutes-long end-to-end, so the printed reproduction
+runs exactly once per session (cached here) and the benchmark target times a
+representative slice at a reduced scale.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_once(request: pytest.FixtureRequest, key: str, producer):
+    """Run ``producer`` once per session under ``key`` and return its value."""
+    cache = request.config.cache  # survives only within the run; fine
+    store = getattr(request.session, "_repro_results", None)
+    if store is None:
+        store = {}
+        request.session._repro_results = store
+    if key not in store:
+        store[key] = producer()
+    return store[key]
+
+
+def print_result(result) -> None:
+    """Print an ExperimentResult table, flushed so -s interleaves sanely."""
+    print()
+    print(result.format(), flush=True)

@@ -1,0 +1,175 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+A1 — the closure step on fused patterns (on/off),
+A2 — fusion trials per seed ball,
+A3 — the core ratio τ (ball radius / leap length),
+A5 — size-elitism in the pool carry-over.
+
+Each ablation prints a small table and asserts the direction the design
+decision is based on.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_result, run_once
+from repro.core import PatternFusionConfig, pattern_fusion
+from repro.datasets.diag import diag, diag_plus
+from repro.datasets.replace import replace_like
+from repro.experiments.base import ExperimentResult
+
+
+@pytest.fixture(scope="module")
+def replace_small(request):
+    return run_once(
+        request, "replace-small", lambda: replace_like(n_transactions=2200, seed=5)
+    )
+
+
+def _fusion_sizes(db, minsup, **overrides):
+    defaults = dict(k=30, initial_pool_max_size=2, seed=0)
+    defaults.update(overrides)
+    result = pattern_fusion(db, minsup, PatternFusionConfig(**defaults))
+    return result, max(p.size for p in result.patterns)
+
+
+class TestA1Closure:
+    def test_closure_accelerates_growth(self, replace_small, benchmark):
+        """A1: with the closure step, fused patterns reach the colossal size
+        in fewer iterations than with literal unions only."""
+        db, truth = replace_small
+        table = ExperimentResult(
+            "A1", "closure step on fused patterns",
+            columns=("close_fused", "largest size", "iterations", "seconds"),
+        )
+        outcomes = {}
+        for close_fused in (True, False):
+            result, largest = _fusion_sizes(
+                db, truth.minsup_absolute, close_fused=close_fused
+            )
+            outcomes[close_fused] = (largest, result.iterations)
+            table.add_row(close_fused, largest, result.iterations,
+                          result.elapsed_seconds)
+        print_result(table)
+        assert outcomes[True][0] == 44  # closure reaches the colossal patterns
+        assert outcomes[True][0] >= outcomes[False][0]
+        benchmark.pedantic(
+            lambda: _fusion_sizes(db, truth.minsup_absolute, close_fused=True),
+            rounds=2, iterations=1,
+        )
+
+
+class TestA2FusionTrials:
+    def test_more_trials_more_distinct_candidates(self, replace_small, benchmark):
+        """A2: trials control how many distinct super-patterns one ball can
+        yield; diversity (pattern count at the cap) grows with trials."""
+        db, truth = replace_small
+        table = ExperimentResult(
+            "A2", "fusion trials per seed",
+            columns=("trials", "patterns", "largest size", "seconds"),
+        )
+        counts = {}
+        for trials in (1, 4, 8):
+            result = pattern_fusion(
+                db, truth.minsup_absolute,
+                PatternFusionConfig(
+                    k=30, initial_pool_max_size=2, seed=3, fusion_trials=trials
+                ),
+            )
+            counts[trials] = len(result.patterns)
+            table.add_row(trials, len(result.patterns),
+                          max(p.size for p in result.patterns),
+                          result.elapsed_seconds)
+        print_result(table)
+        assert counts[8] >= counts[1]
+        benchmark(table.format)
+
+
+class TestA3Tau:
+    def test_tau_controls_leap_length(self, benchmark):
+        """A3: on Diag40, small τ leaps straight to the size-20 frontier in
+        one iteration; τ near 1 needs many more iterations (bounded leaps)."""
+        db = diag(40)
+        table = ExperimentResult(
+            "A3", "core ratio tau on Diag40",
+            columns=("tau", "iterations", "largest size", "seconds"),
+        )
+        iterations = {}
+        for tau in (0.5, 0.75, 0.9):
+            result = pattern_fusion(
+                db, 20,
+                PatternFusionConfig(
+                    k=30, tau=tau, initial_pool_max_size=2, seed=1,
+                    max_iterations=40,
+                ),
+            )
+            iterations[tau] = result.iterations
+            table.add_row(tau, result.iterations,
+                          max(p.size for p in result.patterns),
+                          result.elapsed_seconds)
+        print_result(table)
+        assert iterations[0.5] <= iterations[0.9]
+        benchmark(table.format)
+
+    def test_high_tau_can_stall_below_frontier(self, benchmark):
+        """A3, part 2: moderate τ reaches Diag30's size-15 frontier, but at
+        τ = 0.9 the climb stalls below it — a leap from size s (support
+        30 − s) needs a fused union with support ≥ 0.9·(30 − s), i.e. a ball
+        member overlapping the seed in all but ~10% of its items, and the
+        sparse mid-climb pools stop containing one.  Bounded leaps need
+        dense pools; this is the measured cost of a conservative core ratio
+        (and why the paper's worked τ is 0.5)."""
+        db = diag(30)
+        reached = {}
+        for tau in (0.5, 0.8, 0.9):
+            result = pattern_fusion(
+                db, 15,
+                PatternFusionConfig(
+                    k=20, tau=tau, initial_pool_max_size=2, seed=2,
+                    max_iterations=60, stagnation_rounds=8,
+                ),
+            )
+            reached[tau] = max(p.size for p in result.patterns)
+        assert reached[0.5] == 15
+        assert reached[0.8] == 15
+        assert reached[0.9] < 15  # the stall, reproducibly (seeded)
+        benchmark.pedantic(
+            lambda: pattern_fusion(
+                db, 15,
+                PatternFusionConfig(
+                    k=20, tau=0.8, initial_pool_max_size=2, seed=2,
+                    max_iterations=60, stagnation_rounds=8,
+                ),
+            ),
+            rounds=2, iterations=1,
+        )
+
+
+class TestA5Elitism:
+    def test_elitism_secures_colossal_block(self, benchmark):
+        """A5: without elitism the diag_plus colossal block survives only if
+        re-seeded every iteration; with it, recovery is reliable across
+        seeds.  (This is the safeguard DESIGN.md documents.)"""
+        db = diag_plus()
+        table = ExperimentResult(
+            "A5", "size-elitism on diag_plus",
+            columns=("elitism", "recovered over 10 seeds"),
+        )
+        recovered = {}
+        block = frozenset(range(40, 79))
+        for elitism in (True, False):
+            hits = 0
+            for seed in range(10):
+                result = pattern_fusion(
+                    db, 20,
+                    PatternFusionConfig(
+                        k=10, initial_pool_max_size=2, seed=seed,
+                        elitism=elitism,
+                    ),
+                )
+                hits += any(p.items == block for p in result.patterns)
+            recovered[elitism] = hits
+            table.add_row(elitism, f"{hits}/10")
+        print_result(table)
+        assert recovered[True] == 10
+        assert recovered[True] >= recovered[False]
+        benchmark(table.format)

@@ -1,0 +1,60 @@
+"""A6 — pivot-based metric index vs. brute-force ball queries.
+
+Theorem 1 (Dist is a metric) licenses triangle-inequality pruning for the
+CoreList range queries of Algorithm 2.  This bench measures both strategies
+on the Replace-sim initial pool — wide (4,395-bit) tidsets are where the
+exact distance computations are most expensive — and asserts equal answers.
+"""
+
+import random
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.core.ball_index import PatternBallIndex
+from repro.core.distance import ball, ball_radius
+from repro.datasets.replace import replace_like
+from repro.mining.levelwise import mine_up_to_size
+
+
+@pytest.fixture(scope="module")
+def pool(request):
+    def build():
+        db, truth = replace_like(n_transactions=2200, seed=5)
+        return mine_up_to_size(db, truth.minsup_absolute, 2).patterns
+
+    return run_once(request, "a6-pool", build)
+
+
+@pytest.fixture(scope="module")
+def queries(pool):
+    rng = random.Random(0)
+    return rng.sample(pool, 24)
+
+
+RADIUS = ball_radius(0.9)  # tight balls: where pruning can pay off
+
+
+def test_bench_brute_force_balls(benchmark, pool, queries):
+    def run_queries():
+        return [len(ball(q, pool, RADIUS)) for q in queries]
+
+    sizes = benchmark.pedantic(run_queries, rounds=3, iterations=1)
+    assert all(s >= 1 for s in sizes)  # every ball holds its center
+
+
+def test_bench_indexed_balls(benchmark, pool, queries):
+    index = PatternBallIndex(pool, n_pivots=8, rng=random.Random(1))
+
+    def run_queries():
+        return [len(index.ball(q, RADIUS)) for q in queries]
+
+    sizes = benchmark.pedantic(run_queries, rounds=3, iterations=1)
+    brute = [len(ball(q, pool, RADIUS)) for q in queries]
+    assert sizes == brute  # identical answers, only the work differs
+
+
+def test_index_prunes_substantially(pool, queries):
+    index = PatternBallIndex(pool, n_pivots=8, rng=random.Random(1))
+    rates = [index.exclusion_rate(q, RADIUS) for q in queries]
+    assert sum(rates) / len(rates) > 0.3

@@ -1,0 +1,78 @@
+"""Benchmark for Figure 10: run time on ALL-sim vs support threshold.
+
+Prints the three-miner runtime series (complete miners exploding as the
+threshold unlocks the sub-support-30 noise tiers, Pattern-Fusion flat) and
+benchmarks each miner at one representative threshold.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_result, run_once
+from repro.core import PatternFusionConfig, pattern_fusion
+from repro.datasets.microarray import all_like
+from repro.experiments.fig10_all_runtime import Fig10Config, run
+from repro.mining.maximal import maximal_patterns
+from repro.mining.topk import top_k_closed
+
+
+@pytest.fixture(scope="module")
+def dataset(request):
+    return run_once(request, "all-sim", lambda: all_like())
+
+
+@pytest.fixture(scope="module")
+def figure(request):
+    config = Fig10Config(minsups=(31, 29, 27, 25, 23), baseline_timeout=45.0)
+    return run_once(request, "fig10", lambda: run(config))
+
+
+def test_fig10_series(figure, benchmark):
+    """Regenerate and print the Figure 10 series; assert its shape."""
+    print_result(figure)
+    benchmark(figure.format)  # timed target: table rendering (the run itself is cached)
+    rows = {row[0]: row for row in figure.rows}
+    first, last = rows[31], rows[23]
+
+    def grew_or_timed_out(column):
+        return last[column] is None or last[column] > first[column] * 3
+
+    # Complete miners: runtime explodes (or exceeds the budget) as the
+    # threshold drops into the noise tiers.
+    assert grew_or_timed_out(1)
+    assert grew_or_timed_out(2)
+    # Pattern-Fusion levels off: bounded growth across the sweep.
+    fusion_times = [row[3] for row in figure.rows]
+    assert max(fusion_times) < 120.0
+    assert fusion_times[-1] < max(fusion_times[0] * 25, 60.0)
+
+
+def test_bench_maximal_at_29(benchmark, dataset):
+    db, _ = dataset
+    result = benchmark.pedantic(
+        lambda: maximal_patterns(db, 29, max_seconds=60.0),
+        rounds=2,
+        iterations=1,
+    )
+    assert len(result) > 0
+
+
+def test_bench_topk_at_29(benchmark, dataset):
+    db, _ = dataset
+    result = benchmark.pedantic(
+        lambda: top_k_closed(db, 500, min_size=40, initial_minsup=29,
+                             max_seconds=60.0),
+        rounds=2,
+        iterations=1,
+    )
+    assert len(result) > 0
+
+
+def test_bench_pattern_fusion_at_29(benchmark, dataset):
+    db, _ = dataset
+    config = PatternFusionConfig(
+        k=100, tau=0.97, initial_pool_max_size=2, seed=0
+    )
+    result = benchmark.pedantic(
+        lambda: pattern_fusion(db, 29, config), rounds=2, iterations=1
+    )
+    assert result.largest(1)[0].size >= 110

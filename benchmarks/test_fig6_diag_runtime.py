@@ -1,0 +1,53 @@
+"""Benchmark for Figure 6: run time on Diag_n.
+
+Prints the reproduced runtime table (baseline exploding, Pattern-Fusion
+flat) and benchmarks both miners at fixed, comparable scales.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_result, run_once
+from repro.core import PatternFusionConfig, pattern_fusion
+from repro.datasets.diag import diag, diag_default_minsup
+from repro.experiments.fig6_diag_runtime import Fig6Config, run
+from repro.mining.maximal import maximal_patterns
+
+
+@pytest.fixture(scope="module")
+def figure(request):
+    config = Fig6Config(
+        baseline_sizes=(6, 8, 10, 12, 14),
+        fusion_sizes=(6, 8, 10, 12, 14, 20, 30, 40),
+        baseline_timeout=30.0,
+    )
+    return run_once(request, "fig6", lambda: run(config))
+
+
+def test_fig6_series(figure, benchmark):
+    """Regenerate and print the Figure 6 table; assert its shape."""
+    print_result(figure)
+    benchmark(figure.format)  # timed target: table rendering (the run itself is cached)
+    rows = {row[0]: row for row in figure.rows}
+    baseline = [rows[n][2] for n in (6, 8, 10, 12, 14)]
+    assert all(b is not None for b in baseline)
+    assert baseline[-1] > baseline[0] * 50  # explosive growth
+    fusion = [rows[n][3] for n in (6, 14, 40)]
+    assert fusion[-1] < 5.0  # flat by comparison
+    # Pattern-Fusion reaches the maximal size n/2 at every n.
+    for n in (20, 30, 40):
+        assert rows[n][4] == n // 2
+
+
+def test_bench_maximal_diag12(benchmark):
+    db = diag(12)
+    result = benchmark(lambda: maximal_patterns(db, diag_default_minsup(12)))
+    assert len(result) == 924
+
+
+def test_bench_pattern_fusion_diag40(benchmark):
+    db = diag(40)
+    config = PatternFusionConfig(k=10, initial_pool_max_size=2, seed=0)
+    result = benchmark.pedantic(
+        lambda: pattern_fusion(db, 20, config), rounds=3, iterations=1
+    )
+    assert result.largest(1)[0].size == 20

@@ -1,0 +1,53 @@
+"""Benchmark for Figure 7: approximation error on Diag40.
+
+Prints the K-sweep table (Pattern-Fusion vs uniform sampling from the
+complete set) and benchmarks one fusion run plus the evaluation step.
+"""
+
+import random
+
+import pytest
+
+from benchmarks.conftest import print_result, run_once
+from repro.core import PatternFusionConfig, pattern_fusion
+from repro.datasets.diag import diag, sample_complete_maximal
+from repro.evaluation import approximation_error
+from repro.experiments.fig7_diag_approx import Fig7Config, run
+
+
+@pytest.fixture(scope="module")
+def figure(request):
+    config = Fig7Config(ks=(50, 100, 200, 300, 450), reference_sample_size=300)
+    return run_once(request, "fig7", lambda: run(config))
+
+
+def test_fig7_series(figure, benchmark):
+    """Regenerate and print the Figure 7 curves; assert their shape."""
+    print_result(figure)
+    benchmark(figure.format)  # timed target: table rendering (the run itself is cached)
+    fusion_errors = [row[2] for row in figure.rows]
+    sampling_errors = [row[3] for row in figure.rows]
+    # Both errors decrease as K grows.
+    assert fusion_errors[-1] < fusion_errors[0]
+    assert sampling_errors[-1] < sampling_errors[0]
+    # Pattern-Fusion stays within striking distance of the oracle sampler
+    # (the paper's "comparable approximation error" claim).
+    for fe, se in zip(fusion_errors, sampling_errors):
+        assert fe <= se + 0.25
+
+
+def test_bench_fusion_k100(benchmark):
+    db = diag(40)
+    config = PatternFusionConfig(k=100, initial_pool_max_size=2, seed=1)
+    result = benchmark.pedantic(
+        lambda: pattern_fusion(db, 20, config), rounds=3, iterations=1
+    )
+    assert all(p.size == 20 for p in result.patterns)
+
+
+def test_bench_evaluation_model(benchmark):
+    rng = random.Random(0)
+    mined = sample_complete_maximal(40, 20, 100, rng)
+    reference = sample_complete_maximal(40, 20, 300, rng)
+    error = benchmark(lambda: approximation_error(mined, reference))
+    assert 0.0 <= error <= 1.0

@@ -1,0 +1,60 @@
+"""Benchmark for Figure 8: approximation error on Replace-sim.
+
+Prints the (K, size-threshold) error table and benchmarks the two dominant
+stages separately: mining the complete closed reference set and one
+Pattern-Fusion run at K = 100.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_result, run_once
+from repro.core import PatternFusionConfig, pattern_fusion
+from repro.datasets.replace import replace_like
+from repro.experiments.fig8_replace_approx import Fig8Config, run
+from repro.mining.closed import closed_patterns
+
+
+@pytest.fixture(scope="module")
+def dataset(request):
+    return run_once(request, "replace-full", lambda: replace_like())
+
+
+@pytest.fixture(scope="module")
+def figure(request):
+    return run_once(request, "fig8", lambda: run(Fig8Config()))
+
+
+def test_fig8_series(figure, benchmark):
+    """Regenerate and print the Figure 8 table; assert the paper's claims."""
+    print_result(figure)
+    benchmark(figure.format)  # timed target: table rendering (the run itself is cached)
+    by_key = {(row[0], row[1]): row for row in figure.rows}
+    for k in (50, 100, 200):
+        # The three size-44 colossal patterns are never missed.
+        assert by_key[(k, 44)][3] == 3
+        assert by_key[(k, 44)][4] == 0.0
+    # Errors are tiny (paper: <= 0.01 over the colossal range) and K helps.
+    assert all(row[4] < 0.05 for row in figure.rows)
+    assert by_key[(200, 39)][4] <= by_key[(50, 39)][4]
+
+
+def test_bench_complete_closed_mining(benchmark, dataset):
+    db, truth = dataset
+    result = benchmark.pedantic(
+        lambda: closed_patterns(db, truth.minsup_absolute),
+        rounds=2,
+        iterations=1,
+    )
+    assert len(result) > 1000
+
+
+def test_bench_pattern_fusion_k100(benchmark, dataset):
+    db, truth = dataset
+    config = PatternFusionConfig(k=100, initial_pool_max_size=2, seed=0)
+    result = benchmark.pedantic(
+        lambda: pattern_fusion(db, truth.minsup_absolute, config),
+        rounds=2,
+        iterations=1,
+    )
+    mined = {p.items for p in result.patterns}
+    assert all(c in mined for c in truth.colossal)

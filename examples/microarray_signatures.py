@@ -1,0 +1,67 @@
+"""Microarray analysis: colossal gene-coexpression signatures on ALL-sim.
+
+The paper's second real dataset is the ALL-AML leukemia microarray: 38
+patient samples, 866 expressed genes each.  Frequent patterns here are sets
+of genes active together across most samples; the colossal ones are the
+clinically interesting coexpression signatures, and the explosive number of
+mid-size patterns at low support is what kills complete miners (the paper's
+Figure 10).
+
+This example:
+1. generates ALL-sim (38 × 866 over a 1,736-gene universe);
+2. shows the complete closed answer at support 30 — exactly the 22 colossal
+   signatures with the paper's Figure 9 sizes;
+3. mines with Pattern-Fusion (K = 100, pool of 1- and 2-gene patterns) and
+   prints the Figure 9-style recovery table;
+4. demonstrates the low-support explosion that motivates approximation.
+
+Run:
+    python examples/microarray_signatures.py
+"""
+
+from repro import PatternFusionConfig, pattern_fusion
+from repro.datasets import all_like
+from repro.db import describe
+from repro.evaluation import format_recovery_table, recovery_by_size
+from repro.mining import closed_patterns, maximal_patterns
+
+
+def main() -> None:
+    db, truth = all_like()
+    print("dataset:", describe(db))
+
+    # --- the complete closed answer at the paper's threshold ---------------
+    complete = closed_patterns(db, 30)
+    sizes = sorted((p.size for p in complete.patterns), reverse=True)
+    print(f"complete closed set at support 30: {len(complete)} signatures")
+    print(f"sizes: {sizes}")
+
+    # --- Pattern-Fusion recovery (Figure 9) --------------------------------
+    config = PatternFusionConfig(
+        k=100, tau=0.97, initial_pool_max_size=2, seed=0
+    )
+    result = pattern_fusion(db, 30, config)
+    print(
+        f"\npattern-fusion: initial pool {result.initial_pool_size} "
+        f"(paper: 25,760), {result.iterations} iterations, "
+        f"{result.elapsed_seconds:.1f}s"
+    )
+    table = recovery_by_size(result.patterns, complete.patterns)
+    print(format_recovery_table(table))
+    found = sum(hit for _, hit in table.values())
+    print(f"recovered {found} of {len(complete)} signatures "
+          f"(the paper reported 16 of 22)")
+
+    # --- why approximation: the low-support explosion ----------------------
+    print("\nthe explosion that motivates all of this:")
+    for minsup in (31, 27, 23):
+        try:
+            maximal = maximal_patterns(db, minsup, max_seconds=8.0)
+            print(f"  support {minsup}: {len(maximal)} maximal patterns "
+                  f"({maximal.elapsed_seconds:.2f}s)")
+        except TimeoutError:
+            print(f"  support {minsup}: complete mining gave up after 8s")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+"""Quickstart: mine a colossal pattern that complete miners cannot reach.
+
+Reproduces the paper's introductory example: a 60 × 39 table (Diag40 plus 20
+identical rows of 39 fresh items) has an astronomically large number of
+mid-size maximal patterns — C(40, 20) ≈ 1.4 · 10^11 — drowning any complete
+miner, yet exactly one *colossal* pattern: the 39 fresh items at support 20.
+
+Run:
+    python examples/quickstart.py
+"""
+
+from repro import PatternFusionConfig, pattern_fusion
+from repro.datasets import diag_plus
+from repro.db import describe
+from repro.mining import maximal_patterns
+
+
+def main() -> None:
+    db = diag_plus()  # the paper's 60 x 39 example table
+    print("dataset:", describe(db))
+
+    # A complete miner is hopeless here.  Give it two seconds to prove it.
+    try:
+        maximal_patterns(db, minsup=20, max_seconds=2.0)
+        print("complete maximal mining finished (unexpected at this scale)")
+    except TimeoutError:
+        print("complete maximal mining: gave up after 2s "
+              "(the paper waited 10 hours for FPClose/LCM2)")
+
+    # Pattern-Fusion leaps straight to the colossal pattern.
+    config = PatternFusionConfig(
+        k=10,                    # mine at most 10 patterns
+        tau=0.5,                 # core ratio (the paper's worked value)
+        initial_pool_max_size=2, # phase 1: all frequent 1- and 2-itemsets
+        seed=0,                  # deterministic run
+    )
+    result = pattern_fusion(db, minsup=20, config=config)
+    print(
+        f"pattern-fusion: {len(result)} patterns from an initial pool of "
+        f"{result.initial_pool_size} in {result.iterations} iterations "
+        f"({result.elapsed_seconds:.2f}s)"
+    )
+
+    colossal = result.largest(1)[0]
+    print(f"largest pattern: size {colossal.size}, support {colossal.support}")
+    assert colossal.items == frozenset(range(40, 79)), "should be the planted block"
+    print("-> exactly the planted 39-item colossal pattern. QED.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+"""Sequential extension: mining a colossal motif from noisy event streams.
+
+Section 8 of the paper positions Pattern-Fusion as "an initial effort toward
+mining colossal frequent patterns in more complicated data, such as
+sequences".  This example exercises that extension: 200 event streams, 60%
+of which embed a 30-event motif with noise interleaved; the complete
+sequential miner (PrefixSpan) faces an explosive pattern count, while the
+sequential Pattern-Fusion leaps to the motif through support-set balls and
+common-subsequence fusion.
+
+Run:
+    python examples/sequence_motifs.py
+"""
+
+from repro.core import PatternFusionConfig
+from repro.sequences import motif_sequences, prefixspan, sequence_pattern_fusion
+
+
+def main() -> None:
+    db, motifs = motif_sequences(
+        n_sequences=200, motif_lengths=(30,), motif_support=0.6, seed=0
+    )
+    motif = motifs[0]
+    minsup = 50
+    print(f"{db}; planted motif of {len(motif)} events, "
+          f"support {db.support(motif)}")
+
+    # The complete miner's answer set explodes: every subsequence of the
+    # motif is frequent — 2^30 patterns down there.  Cap it to show the rate.
+    capped = prefixspan(db, minsup, max_patterns=30_000)
+    print(f"prefixspan emitted {len(capped)} patterns before hitting its cap "
+          f"({capped.elapsed_seconds:.1f}s) — the complete set has ~2^30")
+
+    # Sequential Pattern-Fusion: same config surface as the itemset version.
+    config = PatternFusionConfig(
+        k=10, tau=0.5, initial_pool_max_size=2, seed=0
+    )
+    result = sequence_pattern_fusion(db, minsup, config)
+    top = result.largest(1)[0]
+    print(f"pattern-fusion: initial pool {result.initial_pool_size}, "
+          f"{result.iterations} iterations, {result.elapsed_seconds:.1f}s")
+    print(f"largest mined pattern: {top.length} events, support {top.support}")
+    assert top.sequence == motif
+    print("-> exactly the planted motif")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""Legacy setup shim: lets `pip install -e .` work without the wheel package
+(this environment is offline and its setuptools predates PEP 660 editables).
+All real metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,65 @@
+"""repro — Pattern-Fusion: mining colossal frequent patterns by core pattern fusion.
+
+A from-scratch reproduction of Zhu, Yan, Han, Yu & Cheng (ICDE 2007),
+including every substrate the paper relies on: a transaction-database layer,
+the complete-mining baselines it competes against (Apriori, Eclat, FP-growth,
+closed/maximal miners, TFP top-k, CARPENTER), the Pattern-Fusion core, the
+quality-evaluation model of Section 5, and generators for the paper's
+datasets.
+
+Quickstart::
+
+    from repro import PatternFusionConfig, pattern_fusion
+    from repro.datasets import diag_plus
+
+    db = diag_plus()                       # the paper's 60 x 39 example
+    result = pattern_fusion(db, minsup=20, config=PatternFusionConfig(k=10, seed=0))
+    print(result.largest(1)[0])            # the size-39 colossal pattern
+"""
+
+from repro.core import (
+    PatternFusion,
+    PatternFusionConfig,
+    PatternFusionResult,
+    ball_radius,
+    pattern_distance,
+    pattern_fusion,
+)
+from repro.db import TransactionDatabase
+from repro.evaluation import approximate, approximation_error, edit_distance
+from repro.mining import (
+    MiningResult,
+    Pattern,
+    apriori,
+    closed_patterns,
+    eclat,
+    fpgrowth,
+    maximal_patterns,
+    mine_up_to_size,
+    top_k_closed,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "TransactionDatabase",
+    "Pattern",
+    "MiningResult",
+    "pattern_fusion",
+    "PatternFusion",
+    "PatternFusionConfig",
+    "PatternFusionResult",
+    "pattern_distance",
+    "ball_radius",
+    "edit_distance",
+    "approximate",
+    "approximation_error",
+    "apriori",
+    "eclat",
+    "fpgrowth",
+    "closed_patterns",
+    "maximal_patterns",
+    "top_k_closed",
+    "mine_up_to_size",
+    "__version__",
+]

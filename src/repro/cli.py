@@ -1,0 +1,247 @@
+"""Command-line interface: ``repro`` / ``python -m repro``.
+
+Subcommands
+-----------
+``mine``
+    Run any miner on a FIMI ``.dat`` file (or a named built-in dataset).
+``fuse``
+    Run Pattern-Fusion and print the mined colossal patterns.
+``evaluate``
+    Score one mined pattern file against another under Δ(AP_Q).
+``experiment``
+    Reproduce a paper figure (fig6…fig10) and print its table.
+``datasets``
+    Generate a built-in dataset and write it in FIMI format.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+from pathlib import Path
+
+from repro.core import PatternFusionConfig, pattern_fusion
+from repro.datasets import all_like, diag, diag_plus, quest_like, replace_like
+from repro.db import TransactionDatabase, describe, read_fimi, write_fimi
+from repro.evaluation import approximate, summarize_approximation
+from repro.mining import (
+    apriori,
+    carpenter_closed_patterns,
+    closed_patterns,
+    eclat,
+    fpgrowth,
+    maximal_patterns,
+    mine_up_to_size,
+    top_k_closed,
+)
+from repro.mining.results import MiningResult, Pattern, make_pattern
+
+__all__ = ["main", "build_parser"]
+
+def _minsup_arg(text: str) -> float | int:
+    """Parse --minsup preserving the int/float distinction.
+
+    ``1`` means absolute support 1; ``1.0`` means relative support 100%.
+    The database's absolute_minsup() applies the same rule downstream.
+    """
+    try:
+        return int(text)
+    except ValueError:
+        return float(text)
+
+
+_MINERS = {
+    "apriori": lambda db, minsup: apriori(db, minsup),
+    "eclat": lambda db, minsup: eclat(db, minsup),
+    "fpgrowth": lambda db, minsup: fpgrowth(db, minsup),
+    "closed": lambda db, minsup: closed_patterns(db, minsup),
+    "maximal": lambda db, minsup: maximal_patterns(db, minsup),
+    "carpenter": lambda db, minsup: carpenter_closed_patterns(db, minsup),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The full argparse tree (exposed for tests and docs generation)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Pattern-Fusion (ICDE 2007) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    mine = sub.add_parser("mine", help="run a complete miner on a dataset")
+    _add_dataset_args(mine)
+    mine.add_argument("--algorithm", choices=sorted(_MINERS) + ["topk", "pool"],
+                      default="closed")
+    mine.add_argument("--minsup", type=_minsup_arg, required=True,
+                      help="relative in (0,1] or absolute >= 1")
+    mine.add_argument("--top-k", type=int, default=100,
+                      help="k for --algorithm topk")
+    mine.add_argument("--min-size", type=int, default=1,
+                      help="min pattern size for topk; max size for pool")
+    mine.add_argument("--limit", type=int, default=20,
+                      help="print at most this many patterns")
+
+    fuse = sub.add_parser("fuse", help="run Pattern-Fusion")
+    _add_dataset_args(fuse)
+    fuse.add_argument("--minsup", type=_minsup_arg, required=True)
+    fuse.add_argument("--k", type=int, default=100)
+    fuse.add_argument("--tau", type=float, default=0.5)
+    fuse.add_argument("--pool-size", type=int, default=3,
+                      help="initial pool max pattern size")
+    fuse.add_argument("--seed", type=int, default=0)
+    fuse.add_argument("--limit", type=int, default=20)
+
+    evaluate = sub.add_parser(
+        "evaluate", help="score mined patterns against a reference set"
+    )
+    _add_dataset_args(evaluate)
+    evaluate.add_argument("--mined", type=Path, required=True,
+                          help="FIMI-format file of mined itemsets")
+    evaluate.add_argument("--reference", type=Path, required=True,
+                          help="FIMI-format file of reference itemsets")
+
+    experiment = sub.add_parser("experiment", help="reproduce a paper figure")
+    experiment.add_argument("id", help="fig6|fig7|fig8|fig9|fig10|all")
+
+    datasets = sub.add_parser("datasets", help="generate a built-in dataset")
+    datasets.add_argument("name", choices=["diag", "diag-plus", "replace", "all", "quest"])
+    datasets.add_argument("--n", type=int, default=40, help="size for diag")
+    datasets.add_argument("--seed", type=int, default=7)
+    datasets.add_argument("--out", type=Path, required=True)
+    return parser
+
+
+def _add_dataset_args(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_mutually_exclusive_group(required=True)
+    group.add_argument("--input", type=Path, help="FIMI .dat transaction file")
+    group.add_argument(
+        "--dataset",
+        choices=["diag", "diag-plus", "replace", "all", "quest"],
+        help="built-in generated dataset",
+    )
+    parser.add_argument("--n", type=int, default=40, help="size for --dataset diag")
+    parser.add_argument("--dataset-seed", type=int, default=7)
+
+
+def _load_database(args: argparse.Namespace) -> TransactionDatabase:
+    if args.input is not None:
+        return read_fimi(args.input)
+    return _generate(args.dataset, args.n, args.dataset_seed)
+
+
+def _generate(name: str, n: int, seed: int) -> TransactionDatabase:
+    if name == "diag":
+        return diag(n)
+    if name == "diag-plus":
+        return diag_plus(n)
+    if name == "replace":
+        return replace_like(seed=seed)[0]
+    if name == "all":
+        return all_like(seed=seed)[0]
+    if name == "quest":
+        return quest_like(seed=seed)
+    raise ValueError(f"unknown dataset {name!r}")
+
+
+def _print_result(result: MiningResult, limit: int) -> None:
+    print(
+        f"{result.algorithm}: {len(result)} patterns at minsup "
+        f"{result.minsup} in {result.elapsed_seconds:.3f}s"
+    )
+    shown = sorted(
+        result.patterns, key=lambda p: (-p.size, -p.support, p.sorted_items())
+    )[:limit]
+    for pattern in shown:
+        print(f"  size {pattern.size:>3}  support {pattern.support:>6}  {pattern}")
+    if len(result) > limit:
+        print(f"  ... and {len(result) - limit} more")
+
+
+def _cmd_mine(args: argparse.Namespace) -> int:
+    db = _load_database(args)
+    print(describe(db))
+    if args.algorithm == "topk":
+        result = top_k_closed(db, args.top_k, min_size=args.min_size)
+    elif args.algorithm == "pool":
+        result = mine_up_to_size(db, args.minsup, max_size=max(1, args.min_size))
+    else:
+        result = _MINERS[args.algorithm](db, args.minsup)
+    _print_result(result, args.limit)
+    return 0
+
+
+def _cmd_fuse(args: argparse.Namespace) -> int:
+    db = _load_database(args)
+    print(describe(db))
+    config = PatternFusionConfig(
+        k=args.k,
+        tau=args.tau,
+        initial_pool_max_size=args.pool_size,
+        seed=args.seed,
+    )
+    result = pattern_fusion(db, args.minsup, config)
+    print(
+        f"pattern-fusion: {len(result)} patterns after {result.iterations} "
+        f"iterations (initial pool {result.initial_pool_size}) in "
+        f"{result.elapsed_seconds:.3f}s"
+    )
+    _print_result(result.as_mining_result(), args.limit)
+    return 0
+
+
+def _read_patterns(db: TransactionDatabase, path: Path) -> list[Pattern]:
+    itemset_db = read_fimi(path)
+    return [make_pattern(db, row) for row in itemset_db.transactions if row]
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    db = _load_database(args)
+    mined = _read_patterns(db, args.mined)
+    reference = _read_patterns(db, args.reference)
+    if not mined or not reference:
+        print("both --mined and --reference must contain itemsets", file=sys.stderr)
+        return 2
+    approximation = approximate(mined, reference)
+    print(summarize_approximation(approximation))
+    worst = approximation.worst_cluster()
+    print(f"worst cluster: center {worst.center}, max edit {worst.max_edit}")
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from repro.experiments.registry import experiment_ids, run_experiment
+
+    ids = experiment_ids() if args.id == "all" else [args.id]
+    for experiment_id in ids:
+        result = run_experiment(experiment_id)
+        print(result.format())
+        print()
+    return 0
+
+
+def _cmd_datasets(args: argparse.Namespace) -> int:
+    db = _generate(args.name, args.n, args.seed)
+    write_fimi(db, args.out)
+    print(f"wrote {describe(db)} to {args.out}")
+    return 0
+
+
+_COMMANDS = {
+    "mine": _cmd_mine,
+    "fuse": _cmd_fuse,
+    "evaluate": _cmd_evaluate,
+    "experiment": _cmd_experiment,
+    "datasets": _cmd_datasets,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

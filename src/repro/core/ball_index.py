@@ -1,0 +1,101 @@
+"""Pivot-based metric index for the r(τ) ball queries of Algorithm 2.
+
+Theorem 1 establishes that pattern distance is a metric, so the triangle
+inequality gives the classic pivot bound: for any pivot v,
+``Dist(c, p) ≥ |Dist(c, v) − Dist(p, v)|``.  Precomputing each pool
+pattern's distances to a handful of pivots lets a ball query discard most of
+the pool with float comparisons instead of big-integer tidset operations —
+the dominant cost on datasets with thousands of transactions (Replace-sim's
+tidsets are 4,395 bits wide).
+
+This is a performance substrate beyond the paper (which scans the pool);
+correctness is pinned by tests asserting index queries equal brute-force
+scans, and the A6 ablation bench measures the speedup.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.distance import tidset_distance
+from repro.mining.results import Pattern
+
+__all__ = ["PatternBallIndex"]
+
+
+class PatternBallIndex:
+    """An immutable pivot table over one pattern pool.
+
+    Build cost: ``n_pivots × |pool|`` exact distance computations.  Each
+    query then computes exact distances only for patterns no pivot can
+    exclude.  With ``n_pivots = 0`` the index degenerates to a brute scan.
+    """
+
+    def __init__(
+        self,
+        pool: list[Pattern],
+        n_pivots: int = 8,
+        rng: random.Random | None = None,
+    ) -> None:
+        if n_pivots < 0:
+            raise ValueError(f"n_pivots must be non-negative, got {n_pivots}")
+        rng = rng or random.Random(0)
+        self._pool = list(pool)
+        n_pivots = min(n_pivots, len(self._pool))
+        pivot_indices = (
+            rng.sample(range(len(self._pool)), n_pivots) if n_pivots else []
+        )
+        self._pivots = [self._pool[i] for i in pivot_indices]
+        # _tables[j][i] = Dist(pool[i], pivot[j])
+        self._tables: list[list[float]] = [
+            [tidset_distance(p.tidset, pivot.tidset) for p in self._pool]
+            for pivot in self._pivots
+        ]
+
+    def __len__(self) -> int:
+        return len(self._pool)
+
+    @property
+    def pool(self) -> list[Pattern]:
+        """The indexed pool (shared order with the pivot tables)."""
+        return self._pool
+
+    def ball(self, center: Pattern, radius: float) -> list[Pattern]:
+        """All pool patterns within ``radius`` of ``center`` (inclusive).
+
+        Exactly equal to the brute-force ball of
+        :func:`repro.core.distance.ball` — the pivots only skip work, never
+        answers (the tests assert this on random pools).
+        """
+        if radius < 0:
+            return []
+        center_to_pivots = [
+            tidset_distance(center.tidset, pivot.tidset) for pivot in self._pivots
+        ]
+        members: list[Pattern] = []
+        for index, pattern in enumerate(self._pool):
+            excluded = False
+            for table, center_distance in zip(self._tables, center_to_pivots):
+                if abs(center_distance - table[index]) > radius:
+                    excluded = True
+                    break
+            if excluded:
+                continue
+            if tidset_distance(center.tidset, pattern.tidset) <= radius:
+                members.append(pattern)
+        return members
+
+    def exclusion_rate(self, center: Pattern, radius: float) -> float:
+        """Fraction of the pool the pivots exclude for this query (telemetry)."""
+        if not self._pool:
+            return 0.0
+        center_to_pivots = [
+            tidset_distance(center.tidset, pivot.tidset) for pivot in self._pivots
+        ]
+        excluded = 0
+        for index in range(len(self._pool)):
+            for table, center_distance in zip(self._tables, center_to_pivots):
+                if abs(center_distance - table[index]) > radius:
+                    excluded += 1
+                    break
+        return excluded / len(self._pool)

@@ -1,0 +1,173 @@
+"""Core patterns, core descendants and (d, τ)-robustness (Definitions 3–5).
+
+The structural observations this module implements are the foundation of the
+whole approach: colossal patterns have *exponentially many* core patterns
+(Lemma 3), core patterns are closed under union with items of the parent
+(Lemma 2), and a pattern far from everything else in edit distance is
+necessarily robust (Theorem 4).  Pattern-Fusion itself only ever *checks*
+core-ratio conditions; the exhaustive enumerations here (``core_patterns``,
+``robustness``) are reference implementations for tests, examples, and
+dataset calibration, and are exponential in the pattern size by nature.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+from repro.db.transaction_db import TransactionDatabase
+from repro.mining.results import Pattern
+
+__all__ = [
+    "is_core_pattern",
+    "core_ratio",
+    "core_patterns",
+    "robustness",
+    "is_core_descendant",
+    "complementary_core_sets",
+]
+
+
+def core_ratio(db: TransactionDatabase, alpha: frozenset[int], beta: frozenset[int]) -> float:
+    """|D_α| / |D_β| for β ⊆ α (the quantity Definition 3 thresholds).
+
+    Raises when β ⊄ α (the ratio is only meaningful for subpatterns) or when
+    β has empty support (then α does too, and the ratio is undefined).
+    """
+    if not beta <= alpha:
+        raise ValueError("core_ratio requires beta ⊆ alpha")
+    support_beta = db.support(beta)
+    if support_beta == 0:
+        raise ValueError("core_ratio undefined: beta has empty support")
+    return db.support(alpha) / support_beta
+
+
+def is_core_pattern(
+    db: TransactionDatabase,
+    alpha: frozenset[int],
+    beta: frozenset[int],
+    tau: float,
+) -> bool:
+    """Definition 3: is β a τ-core pattern of α?
+
+    β must be a subpattern of α with |D_α| / |D_β| ≥ τ.  The empty itemset is
+    allowed as β (its support set is all of D); α itself is always a core
+    pattern of α for any τ ≤ 1 (ratio 1).
+    """
+    if not 0.0 < tau <= 1.0:
+        raise ValueError(f"tau must be in (0, 1], got {tau}")
+    if not beta <= alpha:
+        return False
+    support_beta = db.support(beta)
+    if support_beta == 0:
+        return False
+    return db.support(alpha) / support_beta >= tau
+
+
+def core_patterns(
+    db: TransactionDatabase, alpha: frozenset[int], tau: float
+) -> list[frozenset[int]]:
+    """C_α: every non-empty τ-core pattern of α, by exhaustive enumeration.
+
+    Exponential in |α| — reference implementation for tests and worked
+    examples (Figure 3), not for mining.
+    """
+    support_alpha = db.support(alpha)
+    members: list[frozenset[int]] = []
+    items = sorted(alpha)
+    for size in range(1, len(items) + 1):
+        for combo in combinations(items, size):
+            beta = frozenset(combo)
+            support_beta = db.support(beta)
+            if support_beta and support_alpha / support_beta >= tau:
+                members.append(beta)
+    return members
+
+
+def robustness(db: TransactionDatabase, alpha: frozenset[int], tau: float) -> int:
+    """Definition 4: the d for which α is (d, τ)-robust.
+
+    The maximum number of items removable from α with the remainder still a
+    τ-core pattern of α.  Removing zero items always works (ratio 1 ≥ τ), so
+    the result is ≥ 0; it equals |α| when even the empty pattern satisfies
+    the ratio (|D_α| / |D| ≥ τ).
+
+    Exhaustive over subsets — reference implementation (exponential in |α|).
+    """
+    if not 0.0 < tau <= 1.0:
+        raise ValueError(f"tau must be in (0, 1], got {tau}")
+    support_alpha = db.support(alpha)
+    if support_alpha == 0:
+        raise ValueError("robustness undefined for a pattern with no support")
+    items = sorted(alpha)
+    # Search top-down: the first removal count with *some* surviving core
+    # subpattern is not enough — we need the maximum d, so scan from |α| down.
+    for removed in range(len(items), 0, -1):
+        for kept in combinations(items, len(items) - removed):
+            beta = frozenset(kept)
+            support_beta = db.support(beta)
+            if support_beta and support_alpha / support_beta >= tau:
+                return removed
+    return 0
+
+
+def is_core_descendant(
+    db: TransactionDatabase,
+    beta: frozenset[int],
+    alpha: frozenset[int],
+    tau: float,
+    max_chain: int | None = None,
+) -> bool:
+    """Definition 5: is β a core descendant of α?
+
+    β is a core descendant of α when a chain β = β₀ ∈ C_{β₁}, β₁ ∈ C_{β₂},
+    …, β_{k} = α exists.  A single hop (β ∈ C_α) is checked first; longer
+    chains are searched greedily through intermediate subpatterns of α that
+    contain β.  ``max_chain`` caps the chain length (default: |α| − |β|).
+
+    Note the one-hop check dominates in practice: by Lemma 2 the core-pattern
+    sets are large, so chains rarely need length > 2.  Reference
+    implementation for tests and the Observation-1 demonstrations.
+    """
+    if beta == alpha:
+        return True
+    if not beta < alpha:
+        return False
+    if is_core_pattern(db, alpha, beta, tau):
+        return True
+    budget = (len(alpha) - len(beta)) if max_chain is None else max_chain
+    if budget <= 1:
+        return False
+    # Try one intermediate level: γ with β ∈ C_γ and γ a core descendant of α.
+    middle_items = sorted(alpha - beta)
+    for item in middle_items:
+        gamma = beta | {item}
+        if is_core_pattern(db, gamma, beta, tau) and is_core_descendant(
+            db, gamma, alpha, tau, max_chain=budget - 1
+        ):
+            return True
+    return False
+
+
+def complementary_core_sets(
+    db: TransactionDatabase,
+    alpha: frozenset[int],
+    tau: float,
+    max_set_size: int | None = None,
+) -> list[list[frozenset[int]]]:
+    """Γ_α: sets of complementary core patterns of α (Definition 7).
+
+    A set S ⊆ C_α \\ {α} with ∪S = α.  Enumerated exhaustively over subsets
+    of C_α up to ``max_set_size`` members (default 3 — enough for the paper's
+    examples; the full Γ_α is doubly exponential).
+    """
+    members = [c for c in core_patterns(db, alpha, tau) if c != alpha]
+    cap = 3 if max_set_size is None else max_set_size
+    results: list[list[frozenset[int]]] = []
+    for size in range(1, cap + 1):
+        for combo in combinations(members, size):
+            union: frozenset[int] = frozenset()
+            for c in combo:
+                union |= c
+            if union == alpha:
+                results.append(list(combo))
+    return results

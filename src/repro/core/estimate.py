@@ -1,0 +1,116 @@
+"""Sampling estimators for the quantities the paper can only bound.
+
+Exhaustive (d, τ)-robustness (Definition 4) costs 2^|α|, which is precisely
+why the paper reasons about colossal patterns indirectly.  These Monte-Carlo
+estimators make the paper's two structural observations *measurable* on real
+patterns:
+
+* :func:`estimate_robustness` — a lower-bound estimate of d by sampling
+  removal sets at increasing sizes;
+* :func:`core_descendant_hit_rate` — Observation 1: the probability that a
+  uniformly drawn size-c subpattern of the universe is a core descendant
+  (single hop) of a given pattern, the quantity that makes random seed
+  drawing favour colossal patterns.
+
+Used by the dataset-calibration tests and the Observation-1 demonstration
+in the examples; both return plain floats/ints and are deterministic given
+their rng.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.db.transaction_db import TransactionDatabase
+
+__all__ = ["estimate_robustness", "core_descendant_hit_rate"]
+
+
+def estimate_robustness(
+    db: TransactionDatabase,
+    alpha: frozenset[int],
+    tau: float,
+    rng: random.Random | None = None,
+    samples_per_level: int = 64,
+) -> int:
+    """Estimated (d, τ)-robustness of ``alpha`` (a lower bound on true d).
+
+    For each removal count d = 1, 2, …, draw ``samples_per_level`` random
+    d-subsets to remove and test whether some remainder stays a τ-core
+    pattern (Definition 3).  The largest d with a witness is reported.  The
+    estimate never exceeds the true d and is exact when every removal set of
+    the critical size works (the common case on block-structured data).
+    Removing *more* items only shrinks the remainder's support set upward —
+    the ratio |D_α|/|D_β| is non-increasing in |β| along chains — but
+    witnesses are not monotone in general, so levels keep being probed until
+    ``len(alpha)`` with no witness at two consecutive levels.
+    """
+    if not 0.0 < tau <= 1.0:
+        raise ValueError(f"tau must be in (0, 1], got {tau}")
+    support_alpha = db.support(alpha)
+    if support_alpha == 0:
+        raise ValueError("robustness undefined for a pattern with no support")
+    rng = rng or random.Random(0)
+    items = sorted(alpha)
+    best = 0
+    misses = 0
+    for removed in range(1, len(items) + 1):
+        witness = False
+        if removed == len(items):
+            # Only one subset: the empty pattern, supported everywhere.
+            witness = support_alpha / db.n_transactions >= tau
+        else:
+            seen: set[frozenset[int]] = set()
+            for _ in range(samples_per_level):
+                dropped = frozenset(rng.sample(items, removed))
+                if dropped in seen:
+                    continue
+                seen.add(dropped)
+                beta = alpha - dropped
+                support_beta = db.support(beta)
+                if support_beta and support_alpha / support_beta >= tau:
+                    witness = True
+                    break
+        if witness:
+            best = removed
+            misses = 0
+        else:
+            misses += 1
+            if misses >= 2:
+                break
+    return best
+
+
+def core_descendant_hit_rate(
+    db: TransactionDatabase,
+    alpha: frozenset[int],
+    size: int,
+    tau: float,
+    rng: random.Random | None = None,
+    samples: int = 512,
+) -> float:
+    """Observation 1: P(random size-c pattern is a one-hop core pattern of α).
+
+    Draws ``samples`` uniformly random ``size``-subsets of the item universe
+    and reports the fraction that are τ-core patterns of ``alpha``.  The
+    paper's worked number (Figure 3's example: probability 0.9 for the
+    colossal pattern at c = 2, at most 0.3 for the small ones) is checked by
+    the tests with exact enumeration; this estimator scales the measurement
+    to real datasets.
+    """
+    if size < 1 or size > db.n_items:
+        raise ValueError(f"size must be in [1, {db.n_items}], got {size}")
+    rng = rng or random.Random(0)
+    support_alpha = db.support(alpha)
+    if support_alpha == 0:
+        raise ValueError("alpha has no support")
+    population = list(range(db.n_items))
+    hits = 0
+    for _ in range(samples):
+        beta = frozenset(rng.sample(population, size))
+        if not beta <= alpha:
+            continue
+        support_beta = db.support(beta)
+        if support_beta and support_alpha / support_beta >= tau:
+            hits += 1
+    return hits / samples

@@ -1,0 +1,161 @@
+"""The fusion operator: merge a seed's CoreList into super-patterns.
+
+Section 4 of the paper specifies ``Fusion(α.CoreList)`` as generating
+super-patterns β_i such that, for some subset ``t_βi ⊆ α.CoreList``, every
+pattern in ``{α} ∪ t_βi`` is a τ-core pattern of β_i — and, when too many β_i
+arise, keeping a sample *weighted by |t_βi|* so that candidates backed by
+more core patterns survive preferentially (they are the ones on paths toward
+colossal patterns).
+
+The construction of each β_i here is a randomized greedy pass: walk the ball
+in random order, union in every member that keeps the running fusion (a)
+frequent and (b) a pattern all accepted members are τ-core patterns of.  The
+pass is repeated ``trials`` times with different orders; distinct outcomes
+become the candidate β_i set.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.db.transaction_db import TransactionDatabase
+from repro.mining.results import Pattern
+
+__all__ = ["FusionCandidate", "fuse_ball", "weighted_sample_without_replacement"]
+
+
+@dataclass(frozen=True, slots=True)
+class FusionCandidate:
+    """One fused super-pattern and the evidence behind it.
+
+    ``n_fused`` is |{α} ∪ t_βi| — the number of ball members fused in — and
+    is the weight used by the retention sampling.
+    """
+
+    pattern: Pattern
+    n_fused: int
+
+
+def fuse_ball(
+    db: TransactionDatabase,
+    seed: Pattern,
+    ball_members: list[Pattern],
+    tau: float,
+    minsup: int,
+    rng: random.Random,
+    trials: int,
+    max_candidates: int,
+    close_fused: bool,
+) -> list[Pattern]:
+    """Fuse ``{seed} ∪ ball_members`` into at most ``max_candidates`` patterns.
+
+    Every returned pattern is frequent (support ≥ ``minsup``), is a superset
+    of the seed, and has all its fused-in constituents as τ-core patterns.
+    With ``close_fused`` the pattern is additionally extended to its closure
+    (support set unchanged, so the core conditions still hold).
+    """
+    others = [p for p in ball_members if p.items != seed.items]
+    best_by_items: dict[frozenset[int], FusionCandidate] = {}
+    for _ in range(trials):
+        candidate = _greedy_fuse(db, seed, others, tau, minsup, rng, close_fused)
+        existing = best_by_items.get(candidate.pattern.items)
+        if existing is None or candidate.n_fused > existing.n_fused:
+            best_by_items[candidate.pattern.items] = candidate
+    candidates = list(best_by_items.values())
+    if len(candidates) > max_candidates:
+        candidates = weighted_sample_without_replacement(
+            candidates,
+            weights=[c.n_fused for c in candidates],
+            k=max_candidates,
+            rng=rng,
+        )
+    return [c.pattern for c in candidates]
+
+
+def _greedy_fuse(
+    db: TransactionDatabase,
+    seed: Pattern,
+    others: list[Pattern],
+    tau: float,
+    minsup: int,
+    rng: random.Random,
+    close_fused: bool,
+) -> FusionCandidate:
+    """One randomized greedy fusion pass.
+
+    Accept a member when the enlarged union stays frequent and its support
+    is at least τ times the support of *every* accepted member — i.e. all
+    members remain τ-core patterns of the running fusion.  Tracking only the
+    maximum member support suffices: support ratios are hardest against the
+    most frequent member.
+    """
+    # The pass needs only tidsets: the support/core checks are tidset math,
+    # and a member whose items are already absorbed leaves the tidset
+    # unchanged.  Item unions are deferred to the end (or replaced by the
+    # closure, which is a function of the tidset alone) — this is what keeps
+    # fusion linear in ball size rather than ball size × pattern size.
+    tidset = seed.tidset
+    max_member_support = seed.support
+    accepted: list[Pattern] = [seed]
+    order = list(range(len(others)))
+    rng.shuffle(order)
+    for index in order:
+        member = others[index]
+        merged_tidset = tidset & member.tidset
+        merged_support = merged_tidset.bit_count()
+        if merged_support < minsup:
+            continue
+        ceiling = max(max_member_support, member.support)
+        if merged_support < tau * ceiling:
+            continue
+        tidset = merged_tidset
+        max_member_support = ceiling
+        accepted.append(member)
+    if close_fused:
+        # Closure can only add items; the support set is untouched by design.
+        items = db.closure_of_tidset(tidset)
+    else:
+        united: set[int] = set()
+        for member in accepted:
+            united |= member.items
+        items = frozenset(united)
+    return FusionCandidate(
+        pattern=Pattern(items=items, tidset=tidset), n_fused=len(accepted)
+    )
+
+
+def weighted_sample_without_replacement(
+    candidates: list[FusionCandidate],
+    weights: list[float],
+    k: int,
+    rng: random.Random,
+) -> list[FusionCandidate]:
+    """Sample ``k`` distinct candidates with probability proportional to weight.
+
+    Implements the paper's retention heuristic ("sampling weighted on the
+    size of t_βi") by successive weighted draws without replacement.
+    """
+    if k < 0:
+        raise ValueError(f"k must be non-negative, got {k}")
+    if len(candidates) != len(weights):
+        raise ValueError("candidates and weights must have equal length")
+    if any(w <= 0 for w in weights):
+        raise ValueError("weights must be positive")
+    if k >= len(candidates):
+        return list(candidates)
+    remaining = list(zip(candidates, weights))
+    chosen: list[FusionCandidate] = []
+    for _ in range(k):
+        total = sum(w for _, w in remaining)
+        draw = rng.random() * total
+        cumulative = 0.0
+        for index, (_, w) in enumerate(remaining):
+            cumulative += w
+            if draw < cumulative:
+                break
+        else:
+            index = len(remaining) - 1
+        candidate, _ = remaining.pop(index)
+        chosen.append(candidate)
+    return chosen

@@ -1,0 +1,259 @@
+"""Pattern-Fusion: Algorithms 1 and 2 of the paper.
+
+Phase 1 mines the complete set of frequent patterns up to a small size (the
+initial pool); phase 2 iterates: draw K random seeds from the pool, collect
+each seed's CoreList with a ``r(τ)``-radius ball query in pattern-distance
+space (Theorem 2), fuse every ball into super-patterns
+(:mod:`repro.core.fusion`), and make the fused patterns the next pool.  The
+loop ends when the pool has at most K patterns.
+
+Termination is argued by Lemma 5 (the minimum pattern size in the pool never
+decreases) together with the shrinking of support sets under fusion; the
+implementation additionally stops on pool fixpoints and after
+``max_iterations``, and — like any bounded-time run of a randomized
+algorithm — finally truncates to the K largest patterns if the guard fired
+with more than K still in the pool.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+
+from repro.core.ball_index import PatternBallIndex
+from repro.core.config import PatternFusionConfig
+from repro.core.distance import ball, ball_radius
+from repro.core.fusion import fuse_ball
+from repro.db.transaction_db import TransactionDatabase
+from repro.mining.levelwise import mine_up_to_size
+from repro.mining.results import MiningResult, Pattern
+
+__all__ = ["IterationStats", "PatternFusionResult", "pattern_fusion", "PatternFusion"]
+
+
+@dataclass(frozen=True, slots=True)
+class IterationStats:
+    """Telemetry for one round of Algorithm 2 (used by tests and reports)."""
+
+    iteration: int
+    pool_size_before: int
+    pool_size_after: int
+    min_pattern_size: int
+    max_pattern_size: int
+    seeds_drawn: int
+
+
+@dataclass(slots=True)
+class PatternFusionResult:
+    """Outcome of a Pattern-Fusion run.
+
+    ``patterns`` is the final pool (≤ K patterns unless the iteration guard
+    truncated it — then exactly K).  ``history`` records one entry per
+    iteration, in order; its ``min_pattern_size`` series is non-decreasing
+    (Lemma 5), which the property tests assert.
+    """
+
+    patterns: list[Pattern]
+    config: PatternFusionConfig
+    minsup: int
+    initial_pool_size: int
+    iterations: int
+    elapsed_seconds: float
+    history: list[IterationStats] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.patterns)
+
+    def as_mining_result(self) -> MiningResult:
+        """Adapter so evaluation code treats this like any miner's output."""
+        return MiningResult(
+            algorithm="pattern-fusion",
+            minsup=self.minsup,
+            patterns=list(self.patterns),
+            elapsed_seconds=self.elapsed_seconds,
+        )
+
+    def largest(self, k: int = 1) -> list[Pattern]:
+        ranked = sorted(
+            self.patterns, key=lambda p: (-p.size, -p.support, p.sorted_items())
+        )
+        return ranked[:k]
+
+
+def pattern_fusion(
+    db: TransactionDatabase,
+    minsup: float | int,
+    config: PatternFusionConfig | None = None,
+    initial_pool: list[Pattern] | None = None,
+) -> PatternFusionResult:
+    """Run Pattern-Fusion end to end (the paper's Algorithm 1).
+
+    Parameters
+    ----------
+    db:
+        The transaction database.
+    minsup:
+        Relative (float in (0,1]) or absolute (int ≥ 1) minimum support.
+    config:
+        Algorithm parameters; defaults to :class:`PatternFusionConfig()`.
+    initial_pool:
+        Optional pre-mined pool (phase 1 output).  When omitted, the complete
+        set of frequent patterns of size ≤ ``config.initial_pool_max_size``
+        is mined here.
+
+    Returns
+    -------
+    PatternFusionResult
+        Final pool, per-iteration telemetry, and provenance.
+    """
+    return PatternFusion(db, minsup, config).run(initial_pool=initial_pool)
+
+
+class PatternFusion:
+    """Stateful runner exposing the paper's two phases separately.
+
+    ``mine_initial_pool()`` then ``run(initial_pool=...)`` lets experiments
+    reuse one pool across many K/τ settings (as Figures 7 and 8 do).
+    """
+
+    def __init__(
+        self,
+        db: TransactionDatabase,
+        minsup: float | int,
+        config: PatternFusionConfig | None = None,
+    ) -> None:
+        self.db = db
+        self.config = config or PatternFusionConfig()
+        self.minsup = db.absolute_minsup(minsup)
+
+    def mine_initial_pool(self) -> list[Pattern]:
+        """Phase 1: the complete set of patterns up to the configured size."""
+        result = mine_up_to_size(
+            self.db, self.minsup, self.config.initial_pool_max_size
+        )
+        return result.patterns
+
+    def run(self, initial_pool: list[Pattern] | None = None) -> PatternFusionResult:
+        """Phase 2: iterate Algorithm 2 until the pool fits in K patterns."""
+        config = self.config
+        rng = random.Random(config.seed)
+        start = time.perf_counter()
+        pool = list(initial_pool) if initial_pool is not None else self.mine_initial_pool()
+        initial_size = len(pool)
+        radius = ball_radius(config.tau)
+        history: list[IterationStats] = []
+        iteration = 0
+        stagnant = 0
+        signature = _size_signature(pool)
+        while len(pool) > config.k and iteration < config.max_iterations:
+            iteration += 1
+            before = len(pool)
+            new_pool = self._fusion_round(pool, radius, rng)
+            if not new_pool:
+                break
+            if config.elitism:
+                new_pool = _with_elite(new_pool, pool, config.k)
+            fixpoint = {p.items for p in new_pool} == {p.items for p in pool}
+            pool = new_pool
+            history.append(_stats(iteration, before, pool, config.k))
+            if fixpoint:
+                break  # iterating further cannot change anything
+            new_signature = _size_signature(pool)
+            if new_signature == signature:
+                stagnant += 1
+                if stagnant >= config.stagnation_rounds:
+                    break  # saturated: sizes stopped evolving
+            else:
+                stagnant = 0
+                signature = new_signature
+        if len(pool) > config.k:
+            # Guard fired with an oversized pool: keep the K most colossal.
+            pool = sorted(
+                pool, key=lambda p: (-p.size, -p.support, p.sorted_items())
+            )[: config.k]
+        return PatternFusionResult(
+            patterns=pool,
+            config=config,
+            minsup=self.minsup,
+            initial_pool_size=initial_size,
+            iterations=iteration,
+            elapsed_seconds=time.perf_counter() - start,
+            history=history,
+        )
+
+    def _fusion_round(
+        self, pool: list[Pattern], radius: float, rng: random.Random
+    ) -> list[Pattern]:
+        """One call of Algorithm 2: K seeds → balls → fused super-patterns."""
+        config = self.config
+        n_seeds = min(config.k, len(pool))
+        seeds = rng.sample(pool, k=n_seeds)
+        index = None
+        if config.use_ball_index and len(pool) >= config.ball_index_min_pool:
+            # Pivot choice never affects results (only work saved), so it is
+            # seeded independently of the algorithm's rng stream — runs with
+            # and without the index stay bit-identical.
+            index = PatternBallIndex(
+                pool, n_pivots=config.ball_index_pivots,
+                rng=random.Random(0 if config.seed is None else config.seed),
+            )
+        fused_by_items: dict[frozenset[int], Pattern] = {}
+        for seed in seeds:
+            if index is not None:
+                core_list = index.ball(seed, radius)
+            else:
+                core_list = ball(seed, pool, radius)
+            fused = fuse_ball(
+                self.db,
+                seed,
+                core_list,
+                tau=config.tau,
+                minsup=self.minsup,
+                rng=rng,
+                trials=config.fusion_trials,
+                max_candidates=config.max_candidates_per_seed,
+                close_fused=config.close_fused,
+            )
+            for pattern in fused:
+                fused_by_items.setdefault(pattern.items, pattern)
+        return list(fused_by_items.values())
+
+
+def _size_signature(pool: list[Pattern]) -> tuple[tuple[int, int], ...]:
+    """Pattern-size histogram of a pool, as a hashable sorted tuple."""
+    histogram: dict[int, int] = {}
+    for p in pool:
+        histogram[p.size] = histogram.get(p.size, 0) + 1
+    return tuple(sorted(histogram.items()))
+
+
+def _with_elite(
+    new_pool: list[Pattern], old_pool: list[Pattern], k: int
+) -> list[Pattern]:
+    """Carry the ``k`` largest patterns of the old pool into the new one.
+
+    Keeps recovery monotone: a colossal pattern found once cannot be lost to
+    an unlucky seed draw later (see PatternFusionConfig.elitism).
+    """
+    merged: dict[frozenset[int], Pattern] = {p.items: p for p in new_pool}
+    elite = sorted(
+        old_pool, key=lambda p: (-p.size, -p.support, p.sorted_items())
+    )[:k]
+    for pattern in elite:
+        merged.setdefault(pattern.items, pattern)
+    return list(merged.values())
+
+
+def _stats(
+    iteration: int, before: int, pool: list[Pattern], k: int
+) -> IterationStats:
+    sizes = [p.size for p in pool]
+    return IterationStats(
+        iteration=iteration,
+        pool_size_before=before,
+        pool_size_after=len(pool),
+        min_pattern_size=min(sizes),
+        max_pattern_size=max(sizes),
+        seeds_drawn=min(k, before),
+    )

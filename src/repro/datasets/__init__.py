@@ -1,0 +1,50 @@
+"""Dataset generators: the paper's synthetic and simulated-real workloads."""
+
+from repro.datasets.diag import (
+    DIAG_PLUS_COLOSSAL_SIZE,
+    diag,
+    diag_default_minsup,
+    diag_n_maximal_patterns,
+    diag_pattern,
+    diag_plus,
+    diag_support,
+    sample_complete_maximal,
+)
+from repro.datasets.microarray import (
+    ALL_MINSUP_ABSOLUTE,
+    ALL_N_ITEMS,
+    ALL_N_ROWS,
+    ALL_ROW_WIDTH,
+    PAPER_COLOSSAL_SIZES,
+    AllGroundTruth,
+    all_like,
+)
+from repro.datasets.replace import (
+    REPLACE_MINSUP_RELATIVE,
+    ReplaceGroundTruth,
+    replace_like,
+)
+from repro.datasets.synthetic import quest_like, random_database
+
+__all__ = [
+    "diag",
+    "diag_plus",
+    "diag_default_minsup",
+    "diag_support",
+    "diag_n_maximal_patterns",
+    "diag_pattern",
+    "sample_complete_maximal",
+    "DIAG_PLUS_COLOSSAL_SIZE",
+    "replace_like",
+    "ReplaceGroundTruth",
+    "REPLACE_MINSUP_RELATIVE",
+    "all_like",
+    "AllGroundTruth",
+    "PAPER_COLOSSAL_SIZES",
+    "ALL_MINSUP_ABSOLUTE",
+    "ALL_N_ROWS",
+    "ALL_ROW_WIDTH",
+    "ALL_N_ITEMS",
+    "quest_like",
+    "random_database",
+]

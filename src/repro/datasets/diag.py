@@ -1,0 +1,141 @@
+"""The Diag_n family — the paper's synthetic explosion dataset.
+
+``Diag_n`` is an n × (n−1) table whose i-th row contains every integer in
+{1..n} except i (we use 0-based item ids: row i = {0..n−1} \\ {i}).  With
+minimum support n/2 it has C(n, n/2) maximal frequent patterns, all of size
+n/2 — the textbook case of a mid-size explosion with *no* reportable colossal
+answer, which breaks every complete miner (Figure 6).
+
+``diag_plus`` is the introduction's 60 × 39 variant: Diag40 plus 20 identical
+rows of 39 fresh items, so the explosion coexists with exactly one colossal
+pattern of size 39 at support 20 — the pattern Pattern-Fusion must find while
+complete miners are still drowning in the diagonal.
+
+Because the combinatorics of Diag_n are fully analytic, this module also
+provides closed-form ground truth (supports, pattern counts, and exact
+uniform samples of the complete colossal set) that the Figure 7 experiment
+uses instead of an impossible complete mining run.
+"""
+
+from __future__ import annotations
+
+import random
+from math import comb
+
+from repro.db.transaction_db import TransactionDatabase
+from repro.mining.results import Pattern
+
+__all__ = [
+    "diag",
+    "diag_plus",
+    "diag_default_minsup",
+    "diag_support",
+    "diag_n_maximal_patterns",
+    "diag_pattern",
+    "sample_complete_maximal",
+    "DIAG_PLUS_COLOSSAL_SIZE",
+]
+
+DIAG_PLUS_COLOSSAL_SIZE = 39
+"""Size of the single colossal pattern in the paper's 60 × 39 example."""
+
+
+def diag(n: int) -> TransactionDatabase:
+    """Build Diag_n: n transactions, transaction i = {0..n−1} \\ {i}."""
+    if n < 2:
+        raise ValueError(f"Diag_n needs n >= 2, got {n}")
+    transactions = [
+        [item for item in range(n) if item != i] for i in range(n)
+    ]
+    return TransactionDatabase(transactions, n_items=n)
+
+
+def diag_plus(
+    n: int = 40,
+    extra_rows: int = 20,
+    extra_width: int = DIAG_PLUS_COLOSSAL_SIZE,
+) -> TransactionDatabase:
+    """Diag_n plus ``extra_rows`` identical rows of ``extra_width`` new items.
+
+    The defaults reproduce the introduction's example exactly: a 60 × 39
+    table whose only colossal pattern is the 39 fresh items (ids
+    ``n .. n+extra_width−1``) at support ``extra_rows``.
+    """
+    if extra_rows < 1 or extra_width < 1:
+        raise ValueError("extra_rows and extra_width must be >= 1")
+    base = [[item for item in range(n) if item != i] for i in range(n)]
+    block = list(range(n, n + extra_width))
+    transactions = base + [list(block) for _ in range(extra_rows)]
+    return TransactionDatabase(transactions, n_items=n + extra_width)
+
+
+def diag_default_minsup(n: int) -> int:
+    """The paper's threshold for Diag_n: absolute support n/2."""
+    return n // 2
+
+
+def diag_support(n: int, itemset_size: int) -> int:
+    """Analytic support of any itemset of the given size in Diag_n.
+
+    Transaction i misses exactly item i, so an itemset α is contained in
+    every transaction whose index is not in α: support = n − |α|.
+    """
+    if not 0 <= itemset_size <= n:
+        raise ValueError(f"itemset size must be in [0, {n}]")
+    return n - itemset_size
+
+
+def diag_n_maximal_patterns(n: int, minsup: int) -> int:
+    """Count of maximal frequent patterns in Diag_n at ``minsup``.
+
+    Frequent ⟺ |α| ≤ n − minsup, so the maximal patterns are exactly the
+    itemsets of size n − minsup: C(n, n − minsup) of them.
+    """
+    size = n - minsup
+    if size < 0:
+        return 0
+    return comb(n, size)
+
+
+def diag_pattern(n: int, items: frozenset[int]) -> Pattern:
+    """Build a Pattern over Diag_n with its tidset computed analytically."""
+    if any(not 0 <= item < n for item in items):
+        raise ValueError("items outside Diag_n universe")
+    tidset = 0
+    for tid in range(n):
+        if tid not in items:
+            tidset |= 1 << tid
+    return Pattern(items=items, tidset=tidset)
+
+
+def sample_complete_maximal(
+    n: int,
+    minsup: int,
+    k: int,
+    rng: random.Random | None = None,
+) -> list[Pattern]:
+    """Uniform sample of k maximal frequent patterns of Diag_n.
+
+    The complete set (all size n−minsup itemsets) is too large to enumerate
+    — that is the point of the dataset — but sampling it uniformly is easy:
+    draw random (n−minsup)-subsets.  Used as the reference set Q in the
+    Figure 7 experiment, exactly as the paper does ("the complete set is
+    randomly sampled for comparison").  Duplicates are rejected, so the
+    sample has k distinct patterns (requires k ≤ C(n, n−minsup)).
+    """
+    rng = rng or random.Random()
+    size = n - minsup
+    if size <= 0:
+        raise ValueError(f"no frequent patterns: minsup {minsup} >= n {n}")
+    if k > comb(n, size):
+        raise ValueError(f"cannot draw {k} distinct patterns, only {comb(n, size)} exist")
+    seen: set[frozenset[int]] = set()
+    sample: list[Pattern] = []
+    population = list(range(n))
+    while len(sample) < k:
+        items = frozenset(rng.sample(population, size))
+        if items in seen:
+            continue
+        seen.add(items)
+        sample.append(diag_pattern(n, items))
+    return sample

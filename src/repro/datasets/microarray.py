@@ -1,0 +1,185 @@
+"""ALL-sim: a synthetic stand-in for the ALL-AML leukemia microarray dataset.
+
+The paper's ALL dataset has 38 transactions (samples) of 866 items each over
+a 1,736-item universe; at absolute minimum support 30 its complete closed set
+contains colossal patterns of sizes 110, 107, 102, 91, 86, 84 (×2), 83 (×6),
+82, 77 (×2), 76, 75, 74, 73 (×2), 71 (Figure 9), and as the threshold drops
+to 21 every complete miner's runtime explodes while Pattern-Fusion's levels
+off (Figure 10).
+
+The construction (see DESIGN.md §4) is laminar, so the closed set at support
+30 is *provably exactly* the planted patterns:
+
+* the 22 paper-sized patterns are arranged in 6 nested chains (a chain is
+  B₀ ⊃ B₁ ⊃ … with strictly decreasing sizes), each chain on its own items;
+* chain supporters are "all rows except an exclusion set": the bottom of
+  chain c excludes only that chain's private 5-row group G_c, and each level
+  up additionally excludes shared rows {30, 31, 32} — so supports run
+  33, 32, 31, 30 bottom-to-top, supporter sets are nested within a chain,
+  never nested across chains (G's are disjoint), and any two supporter sets
+  from different chains intersect in ≤ 28 < 30 rows (their G's are disjoint,
+  so the union of exclusions has ≥ 10 rows) — no frequent cross-chain union
+  exists at support 30;
+* every noise layer lives strictly below support 30 (no noise item occurs in
+  30 rows), so it cannot enter any support-30 closure:
+  - a Diag-style *explosion block* (item d of D lives in 28 of rows 0..28,
+    missing exactly one) whose k-item subsets have support 29 − k — the
+    fuel for the low-support blow-up of Figure 10;
+  - random *mini-patterns* (sizes 4–8, supports 21–28) — correlated gene
+    modules below the main threshold;
+  - per-row filler items (≤ 20 occurrences each) bringing every row to
+    exactly 866 items.
+
+Deterministic given ``seed``; returns the planted ground truth alongside the
+database.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.db.transaction_db import TransactionDatabase
+
+__all__ = [
+    "AllGroundTruth",
+    "all_like",
+    "PAPER_COLOSSAL_SIZES",
+    "ALL_MINSUP_ABSOLUTE",
+    "ALL_N_ROWS",
+    "ALL_ROW_WIDTH",
+    "ALL_N_ITEMS",
+]
+
+PAPER_COLOSSAL_SIZES = (
+    110, 107, 102, 91, 86, 84, 84, 83, 83, 83, 83, 83, 83,
+    82, 77, 77, 76, 75, 74, 73, 73, 71,
+)
+"""The complete set's pattern sizes in Figure 9 (sizes > 70, one per pattern)."""
+
+ALL_MINSUP_ABSOLUTE = 30
+ALL_N_ROWS = 38
+ALL_ROW_WIDTH = 866
+ALL_N_ITEMS = 1736
+
+# The 22 sizes partitioned into 7 strictly-decreasing chains (size 83 has
+# multiplicity 6, so at least 6 chains are needed; 7 chains of ≤ 4 levels
+# use exactly the 35 non-extra rows as 7 disjoint 5-row exclusion groups).
+_CHAIN_SIZES: tuple[tuple[int, ...], ...] = (
+    (110, 107, 102, 91),
+    (86, 84, 83, 77),
+    (84, 83, 77, 73),
+    (83, 82, 76, 71),
+    (83, 75, 73),
+    (83, 74),
+    (83,),
+)
+_GROUP_SIZE = 5  # |G_c|: each chain's private 5-row exclusion group
+_SHARED_EXTRA_ROWS = (30, 31, 32)  # excluded additionally by shallower levels
+# Rows available for private groups: everything except the shared extras.
+_GROUP_ROWS = tuple(r for r in range(ALL_N_ROWS) if r not in _SHARED_EXTRA_ROWS)
+
+
+@dataclass(frozen=True)
+class AllGroundTruth:
+    """What the generator planted (and what must be the σ=30 closed set)."""
+
+    colossal: tuple[frozenset[int], ...]
+    colossal_supports: tuple[int, ...]
+    chains: tuple[tuple[frozenset[int], ...], ...]
+    minsup_absolute: int
+    n_transactions: int
+    n_items: int
+
+
+def all_like(
+    seed: int = 11,
+    explosion_items: int = 16,
+    n_mini_patterns: int = 60,
+) -> tuple[TransactionDatabase, AllGroundTruth]:
+    """Generate the ALL-sim dataset and its planted ground truth.
+
+    ``explosion_items`` sizes the Diag-style sub-threshold block (D items
+    whose k-subsets have support 29 − k); ``n_mini_patterns`` sizes the
+    correlated-module noise layer.  Both only matter below support 30.
+    """
+    if explosion_items < 0 or explosion_items > 29:
+        raise ValueError("explosion_items must be in [0, 29]")
+    rng = random.Random(seed)
+    rows: list[set[int]] = [set() for _ in range(ALL_N_ROWS)]
+
+    # --- chain layer: the 22 colossal patterns -----------------------------
+    chains: list[tuple[frozenset[int], ...]] = []
+    next_item = 0
+    for chain_index, sizes in enumerate(_CHAIN_SIZES):
+        top_size = sizes[0]
+        chain_items = tuple(range(next_item, next_item + top_size))
+        next_item += top_size
+        levels = tuple(frozenset(chain_items[:size]) for size in sizes)
+        chains.append(levels)
+        group = set(
+            _GROUP_ROWS[chain_index * _GROUP_SIZE : (chain_index + 1) * _GROUP_SIZE]
+        )
+        n_levels = len(sizes)
+        for level, pattern in enumerate(levels):
+            # Exclusions: private group + one shared row per step above bottom.
+            shallowness = n_levels - 1 - level
+            excluded = group | set(_SHARED_EXTRA_ROWS[:shallowness])
+            supporters = [r for r in range(ALL_N_ROWS) if r not in excluded]
+            for r in supporters:
+                rows[r].update(pattern)
+
+    colossal = tuple(level for chain in chains for level in chain)
+
+    # --- explosion block: Diag-style, support 29 − k for k-subsets ---------
+    explosion_rows = list(range(29))  # rows 0..28
+    explosion_base = next_item
+    for d in range(explosion_items):
+        missing_row = explosion_rows[d % len(explosion_rows)]
+        item = explosion_base + d
+        for r in explosion_rows:
+            if r != missing_row:
+                rows[r].add(item)
+    next_item += explosion_items
+
+    # --- mini-patterns: correlated modules below the main threshold --------
+    for _ in range(n_mini_patterns):
+        size = rng.randint(4, 8)
+        support = rng.randint(21, 28)
+        items = list(range(next_item, next_item + size))
+        next_item += size
+        for r in rng.sample(range(ALL_N_ROWS), support):
+            rows[r].update(items)
+
+    # --- filler: bring every row to exactly ALL_ROW_WIDTH items ------------
+    filler_items = list(range(next_item, ALL_N_ITEMS))
+    if not filler_items:
+        raise ValueError("planted layers exceeded the item universe")
+    occurrences = {item: 0 for item in filler_items}
+    max_occurrences = 20
+    for r, row in enumerate(rows):
+        deficit = ALL_ROW_WIDTH - len(row)
+        if deficit < 0:
+            raise ValueError(
+                f"row {r} has {len(row)} planted items; exceeds width "
+                f"{ALL_ROW_WIDTH} — reduce n_mini_patterns"
+            )
+        available = [i for i in filler_items if occurrences[i] < max_occurrences]
+        if deficit > len(available):
+            raise ValueError("filler capacity exhausted; enlarge the universe")
+        for item in rng.sample(available, deficit):
+            row.add(item)
+            occurrences[item] += 1
+
+    db = TransactionDatabase(
+        (sorted(row) for row in rows), n_items=ALL_N_ITEMS
+    )
+    truth = AllGroundTruth(
+        colossal=colossal,
+        colossal_supports=tuple(db.support(p) for p in colossal),
+        chains=tuple(chains),
+        minsup_absolute=ALL_MINSUP_ABSOLUTE,
+        n_transactions=ALL_N_ROWS,
+        n_items=ALL_N_ITEMS,
+    )
+    return db, truth

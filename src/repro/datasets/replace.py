@@ -1,0 +1,138 @@
+"""Replace-sim: a synthetic stand-in for the Siemens "replace" trace dataset.
+
+The paper's Replace dataset records program calls/transitions of 4,395
+correct executions of the `replace` program: 4,395 transactions over 57
+items; at σ = 0.03 the complete closed set has a few thousand patterns whose
+three largest members have size 44 (Pattern-Fusion always recovers all
+three).
+
+The real traces are not redistributable, so this generator plants the same
+*shape* (see DESIGN.md §4):
+
+* three colossal size-44 patterns sharing a 37-item core (program main paths
+  share most of their call structure and diverge in one of three branches);
+* per colossal pattern, "degraded" executions that drop items from a small
+  fragile subset of the branch — producing the size-39…43 closed patterns
+  that populate the Figure 8 x-axis;
+* "call chain" layers: frequent prefix families of the core and of several
+  auxiliary chains — the small/mid-size body of the closed set;
+* random noise traces, each individually infrequent.
+
+Everything is deterministic given ``seed``; the planted ground truth is
+returned alongside the database so experiments and tests can assert the
+structure they rely on (exactly three largest patterns, all of size 44, all
+frequent).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.db.transaction_db import TransactionDatabase
+
+__all__ = ["ReplaceGroundTruth", "replace_like", "REPLACE_MINSUP_RELATIVE"]
+
+REPLACE_MINSUP_RELATIVE = 0.03
+"""The paper's threshold for Replace (≈132 of 4,395 transactions)."""
+
+_N_ITEMS = 57
+_CORE = tuple(range(37))  # items 0..36: the shared main path, |core| = 37
+# Branches of 7 items each over the remaining 20 items (37..56); the third
+# branch reuses item 37 so the three stay size-7 inside a 57-item universe —
+# overlapping divergent paths, as real call graphs have.
+_BRANCHES = (
+    tuple(range(37, 44)),
+    tuple(range(44, 51)),
+    tuple(range(51, 57)) + (37,),
+)
+_FRAGILE_PER_BRANCH = 5
+"""Branch items a degraded execution may drop.  Bounds the colossal-adjacent
+closed family at 2^5 per colossal pattern and puts its smallest member at
+size 44 − 5 = 39 — the bottom of Figure 8's x-axis."""
+
+
+@dataclass(frozen=True)
+class ReplaceGroundTruth:
+    """What the generator planted, for assertions and experiment reports."""
+
+    colossal: tuple[frozenset[int], ...]
+    colossal_supports: tuple[int, ...]
+    minsup_absolute: int
+    n_transactions: int
+    n_items: int
+
+
+def replace_like(
+    n_transactions: int = 4395,
+    seed: int = 7,
+    n_chains: int = 16,
+    chain_length: int = 14,
+) -> tuple[TransactionDatabase, ReplaceGroundTruth]:
+    """Generate the Replace-sim dataset and its planted ground truth.
+
+    Defaults match the paper's scale (4,395 transactions, 57 items,
+    absolute threshold ceil(0.03·4395) = 132).
+
+    ``n_chains``/``chain_length`` size the mid-pattern layer; the default
+    budget fits 4,395 transactions with every planted structure frequent.
+    """
+    if n_transactions < 2000:
+        raise ValueError("replace_like needs at least 2000 transactions")
+    rng = random.Random(seed)
+    minsup = -(-3 * n_transactions // 100)  # ceil(0.03 n)
+    scale = n_transactions / 4395  # keep proportions at other sizes
+    colossal = [frozenset(_CORE) | frozenset(branch) for branch in _BRANCHES]
+    transactions: list[list[int]] = []
+
+    # --- full executions of each main path (keep the colossal closed) ------
+    full_runs_each = int(minsup * 1.35) + 1
+    for pattern in colossal:
+        for _ in range(full_runs_each):
+            transactions.append(sorted(pattern))
+
+    # --- degraded executions: drop 1–2 fragile branch items ----------------
+    for pattern, branch in zip(colossal, _BRANCHES):
+        fragile = branch[:_FRAGILE_PER_BRANCH]
+        for _ in range(minsup):
+            dropped = set(rng.sample(fragile, rng.choice((1, 1, 2))))
+            transactions.append(sorted(set(pattern) - dropped))
+
+    # --- core prefix family: partial main-path executions ------------------
+    n_prefix_rows = int(420 * scale)
+    for _ in range(n_prefix_rows):
+        length = rng.randint(5, len(_CORE) - 1)
+        transactions.append(list(_CORE[:length]))
+
+    # --- auxiliary chains: frequent whole, with sparse shorter prefixes ----
+    # Chains scale with the transaction budget so smaller instances (used by
+    # the fast tests) keep the same structural proportions.
+    effective_chains = max(2, int(n_chains * scale))
+    for _ in range(effective_chains):
+        chain = rng.sample(range(_N_ITEMS), chain_length)
+        for _ in range(minsup + 10):
+            transactions.append(sorted(chain))
+        for length in range(3, chain_length):
+            for _ in range(2):
+                transactions.append(sorted(chain[:length]))
+
+    # --- noise: short random traces, individually infrequent ---------------
+    while len(transactions) < n_transactions:
+        length = rng.randint(2, 6)
+        transactions.append(sorted(rng.sample(range(_N_ITEMS), length)))
+    if len(transactions) > n_transactions:
+        raise ValueError(
+            f"planted structure needs {len(transactions)} transactions; "
+            f"raise n_transactions above {n_transactions} or shrink n_chains"
+        )
+
+    rng.shuffle(transactions)
+    db = TransactionDatabase(transactions, n_items=_N_ITEMS)
+    truth = ReplaceGroundTruth(
+        colossal=tuple(colossal),
+        colossal_supports=tuple(db.support(p) for p in colossal),
+        minsup_absolute=minsup,
+        n_transactions=n_transactions,
+        n_items=_N_ITEMS,
+    )
+    return db, truth

@@ -1,0 +1,77 @@
+"""IBM-QUEST-style synthetic transaction generator.
+
+The classic generator behind T10I4D100K-style datasets (Agrawal & Srikant,
+VLDB'94), scaled down: draw a pool of potential patterns with geometric-ish
+sizes, then build each transaction from a few (possibly corrupted) patterns.
+Used by the cross-miner agreement tests and the miner micro-benchmarks — it
+produces the unstructured mid-density workloads the planted paper datasets
+deliberately avoid.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.db.transaction_db import TransactionDatabase
+
+__all__ = ["quest_like", "random_database"]
+
+
+def quest_like(
+    n_transactions: int = 200,
+    n_items: int = 40,
+    n_patterns: int = 12,
+    mean_pattern_size: int = 4,
+    patterns_per_transaction: int = 3,
+    corruption: float = 0.25,
+    seed: int = 0,
+) -> TransactionDatabase:
+    """Generate a QUEST-style database of planted, corrupted patterns.
+
+    Each transaction is the union of ``patterns_per_transaction`` draws from
+    the pattern pool, where each drawn pattern loses each item independently
+    with probability ``corruption`` — so planted patterns are frequent but
+    not wall-to-wall, and plenty of partial overlaps exist.
+    """
+    if not 0.0 <= corruption < 1.0:
+        raise ValueError(f"corruption must be in [0, 1), got {corruption}")
+    if min(n_transactions, n_items, n_patterns, patterns_per_transaction) < 1:
+        raise ValueError("all size parameters must be >= 1")
+    rng = random.Random(seed)
+    pool: list[list[int]] = []
+    for _ in range(n_patterns):
+        size = max(1, min(n_items, int(rng.expovariate(1 / mean_pattern_size)) + 1))
+        pool.append(rng.sample(range(n_items), size))
+    transactions: list[list[int]] = []
+    for _ in range(n_transactions):
+        row: set[int] = set()
+        for _ in range(patterns_per_transaction):
+            pattern = pool[rng.randrange(n_patterns)]
+            for item in pattern:
+                if rng.random() >= corruption:
+                    row.add(item)
+        if not row:
+            row.add(rng.randrange(n_items))
+        transactions.append(sorted(row))
+    return TransactionDatabase(transactions, n_items=n_items)
+
+
+def random_database(
+    n_transactions: int,
+    n_items: int,
+    density: float,
+    seed: int = 0,
+) -> TransactionDatabase:
+    """Uniform Bernoulli database: each cell is 1 with probability ``density``.
+
+    The fully unstructured case — property tests use it to catch assumptions
+    that only hold on planted data.
+    """
+    if not 0.0 <= density <= 1.0:
+        raise ValueError(f"density must be in [0, 1], got {density}")
+    rng = random.Random(seed)
+    transactions = [
+        [item for item in range(n_items) if rng.random() < density]
+        for _ in range(n_transactions)
+    ]
+    return TransactionDatabase(transactions, n_items=n_items)

@@ -1,0 +1,19 @@
+"""Transaction-database substrate: bitsets, databases, encoders, IO, stats."""
+
+from repro.db import bitset
+from repro.db.encoder import ItemEncoder
+from repro.db.io import format_fimi, parse_fimi, read_fimi, write_fimi
+from repro.db.stats import DatabaseStats, describe
+from repro.db.transaction_db import TransactionDatabase
+
+__all__ = [
+    "bitset",
+    "ItemEncoder",
+    "TransactionDatabase",
+    "DatabaseStats",
+    "describe",
+    "read_fimi",
+    "write_fimi",
+    "parse_fimi",
+    "format_fimi",
+]

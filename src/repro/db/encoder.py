@@ -1,0 +1,73 @@
+"""Bidirectional mapping between user-facing item labels and dense item ids.
+
+Miners work on dense integer item ids (``0 .. n_items-1``); datasets in the
+wild use strings ("gene_TP53"), sparse integers, or arbitrary hashables.  An
+:class:`ItemEncoder` is the boundary between the two worlds: encode once when
+the database is built, decode once when results are reported.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable
+from typing import Any
+
+__all__ = ["ItemEncoder"]
+
+
+class ItemEncoder:
+    """Assigns dense ids to item labels in first-seen order.
+
+    The encoder is append-only: once a label has an id, the id never changes,
+    so patterns mined earlier remain decodable after more labels are added.
+    """
+
+    def __init__(self, labels: Iterable[Hashable] = ()) -> None:
+        self._id_by_label: dict[Hashable, int] = {}
+        self._label_by_id: list[Hashable] = []
+        for label in labels:
+            self.encode_item(label)
+
+    def __len__(self) -> int:
+        return len(self._label_by_id)
+
+    def __contains__(self, label: Hashable) -> bool:
+        return label in self._id_by_label
+
+    def __repr__(self) -> str:
+        return f"ItemEncoder({len(self)} items)"
+
+    def encode_item(self, label: Hashable) -> int:
+        """Return the id for ``label``, assigning the next free id if new."""
+        item_id = self._id_by_label.get(label)
+        if item_id is None:
+            item_id = len(self._label_by_id)
+            self._id_by_label[label] = item_id
+            self._label_by_id.append(label)
+        return item_id
+
+    def encode(self, labels: Iterable[Hashable]) -> frozenset[int]:
+        """Encode an itemset of labels into a frozenset of dense ids."""
+        return frozenset(self.encode_item(label) for label in labels)
+
+    def decode_item(self, item_id: int) -> Any:
+        """Return the label for a dense id; raises on unknown ids."""
+        try:
+            return self._label_by_id[item_id]
+        except IndexError:
+            raise KeyError(f"unknown item id {item_id}") from None
+
+    def decode(self, item_ids: Iterable[int]) -> frozenset[Any]:
+        """Decode a set of dense ids back into the original labels."""
+        return frozenset(self.decode_item(item_id) for item_id in item_ids)
+
+    def id_of(self, label: Hashable) -> int:
+        """Return the id of an already-encoded label; raises if unseen."""
+        try:
+            return self._id_by_label[label]
+        except KeyError:
+            raise KeyError(f"unknown item label {label!r}") from None
+
+    @property
+    def labels(self) -> tuple[Hashable, ...]:
+        """All labels in id order (index == item id)."""
+        return tuple(self._label_by_id)

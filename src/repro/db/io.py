@@ -1,0 +1,54 @@
+"""Reading and writing transaction databases in the FIMI ``.dat`` format.
+
+The FIMI workshop format (used by the implementations the paper benchmarks
+against, FPClose and LCM2) is one transaction per line, items as integers
+separated by whitespace.  Blank lines are empty transactions and are kept:
+dropping them would silently change |D| and therefore every relative support.
+"""
+
+from __future__ import annotations
+
+import io as _io
+from collections.abc import Iterable
+from pathlib import Path
+
+from repro.db.transaction_db import TransactionDatabase
+
+__all__ = ["read_fimi", "write_fimi", "parse_fimi", "format_fimi"]
+
+
+def parse_fimi(text: str, n_items: int | None = None) -> TransactionDatabase:
+    """Parse FIMI-format text into a :class:`TransactionDatabase`."""
+    transactions: list[list[int]] = []
+    for lineno, line in enumerate(_io.StringIO(text), start=1):
+        stripped = line.strip()
+        if not stripped:
+            transactions.append([])
+            continue
+        try:
+            transactions.append([int(token) for token in stripped.split()])
+        except ValueError as exc:
+            raise ValueError(f"line {lineno}: non-integer item in {line!r}") from exc
+    return TransactionDatabase(transactions, n_items=n_items)
+
+
+def format_fimi(db: TransactionDatabase) -> str:
+    """Render a database as FIMI text (items sorted within each line)."""
+    lines = [" ".join(str(i) for i in sorted(row)) for row in db.transactions]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def read_fimi(path: str | Path, n_items: int | None = None) -> TransactionDatabase:
+    """Load a FIMI ``.dat`` file from disk."""
+    return parse_fimi(Path(path).read_text(), n_items=n_items)
+
+
+def write_fimi(db: TransactionDatabase, path: str | Path) -> None:
+    """Write a database to disk in FIMI format."""
+    Path(path).write_text(format_fimi(db))
+
+
+def write_transactions(transactions: Iterable[Iterable[int]], path: str | Path) -> None:
+    """Write raw transactions (no database construction) in FIMI format."""
+    lines = [" ".join(str(i) for i in sorted(set(row))) for row in transactions]
+    Path(path).write_text("\n".join(lines) + ("\n" if lines else ""))

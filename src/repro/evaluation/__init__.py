@@ -1,0 +1,31 @@
+"""Quality-evaluation model (Section 5) and approximation baselines."""
+
+from repro.evaluation.approximation import (
+    Approximation,
+    ClusterReport,
+    approximate,
+    approximation_error,
+)
+from repro.evaluation.edit_distance import edit_distance, pattern_edit_distance
+from repro.evaluation.kcenter import coverage_radius, greedy_k_center
+from repro.evaluation.report import (
+    format_recovery_table,
+    recovery_by_size,
+    summarize_approximation,
+)
+from repro.evaluation.sampling import uniform_sample
+
+__all__ = [
+    "edit_distance",
+    "pattern_edit_distance",
+    "Approximation",
+    "ClusterReport",
+    "approximate",
+    "approximation_error",
+    "uniform_sample",
+    "greedy_k_center",
+    "coverage_radius",
+    "summarize_approximation",
+    "recovery_by_size",
+    "format_recovery_table",
+]

@@ -1,0 +1,98 @@
+"""The quality-evaluation model: Δ(AP_Q) (Definitions 9 and 10).
+
+To score a mining result ``P`` against a reference set ``Q`` (typically the
+complete closed set, or a sample of it when the complete set is itself the
+thing that cannot be computed): treat each α_i ∈ P as a cluster center,
+assign every β ∈ Q to its nearest center under itemset edit distance, take
+each cluster's worst relative error r_i = max_β Edit(β, α_i) / |α_i|, and
+average the r_i **over the m = |P| clusters** — empty clusters contribute
+r_i = 0, exactly as in Definition 10 where the sum runs over all m centers.
+
+A small Δ(AP_Q) reads as: "every pattern in the complete set is, on average,
+at most Δ·|center| items away from something we returned."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.evaluation.edit_distance import pattern_edit_distance
+from repro.mining.results import Pattern
+
+__all__ = ["ClusterReport", "Approximation", "approximate", "approximation_error"]
+
+
+@dataclass(frozen=True, slots=True)
+class ClusterReport:
+    """One center α_i with its assigned patterns and worst-case error."""
+
+    center: Pattern
+    members: tuple[Pattern, ...]
+    max_edit: int
+    max_error: float
+    """r_i = max_edit / |center| (0.0 for an empty cluster)."""
+
+
+@dataclass(frozen=True, slots=True)
+class Approximation:
+    """The full partition AP_Q of Definition 9 plus its error Δ (Def. 10)."""
+
+    clusters: tuple[ClusterReport, ...]
+    error: float
+
+    @property
+    def n_centers(self) -> int:
+        return len(self.clusters)
+
+    def worst_cluster(self) -> ClusterReport:
+        """The cluster with the largest r_i (the binding constraint on Δ)."""
+        if not self.clusters:
+            raise ValueError("approximation has no clusters")
+        return max(self.clusters, key=lambda c: c.max_error)
+
+
+def approximate(mined: list[Pattern], complete: list[Pattern]) -> Approximation:
+    """Build AP_Q: assign each β ∈ ``complete`` to its nearest mined center.
+
+    Ties go to the earliest center in ``mined`` order (Definition 9 allows
+    any tie-break; a deterministic one keeps runs reproducible).  Raises when
+    ``mined`` is empty (the partition is undefined) — an empty *complete* set
+    yields Δ = 0 with every cluster empty.
+    """
+    if not mined:
+        raise ValueError("cannot evaluate an empty mining result")
+    assignments: list[list[Pattern]] = [[] for _ in mined]
+    for beta in complete:
+        best_index = 0
+        best_distance = pattern_edit_distance(beta, mined[0])
+        for index in range(1, len(mined)):
+            distance = pattern_edit_distance(beta, mined[index])
+            if distance < best_distance:
+                best_distance = distance
+                best_index = index
+        assignments[best_index].append(beta)
+    clusters: list[ClusterReport] = []
+    total_error = 0.0
+    for center, members in zip(mined, assignments):
+        if members:
+            max_edit = max(pattern_edit_distance(beta, center) for beta in members)
+        else:
+            max_edit = 0
+        if center.size == 0:
+            raise ValueError("cluster centers must be non-empty itemsets")
+        max_error = max_edit / center.size
+        total_error += max_error
+        clusters.append(
+            ClusterReport(
+                center=center,
+                members=tuple(members),
+                max_edit=max_edit,
+                max_error=max_error,
+            )
+        )
+    return Approximation(clusters=tuple(clusters), error=total_error / len(mined))
+
+
+def approximation_error(mined: list[Pattern], complete: list[Pattern]) -> float:
+    """Δ(AP_Q) alone, when the per-cluster breakdown is not needed."""
+    return approximate(mined, complete).error

@@ -1,0 +1,27 @@
+"""Itemset edit distance (Definition 8).
+
+``Edit(α, β) = |α ∪ β| − |α ∩ β|`` — the number of single-item insertions or
+deletions turning one itemset into the other (symmetric-difference size).
+It is a metric on itemsets, which is what lets Definition 9's
+nearest-neighbour assignment and Theorem 4's outlier argument go through.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.mining.results import Pattern
+
+__all__ = ["edit_distance", "pattern_edit_distance"]
+
+
+def edit_distance(alpha: Iterable[int], beta: Iterable[int]) -> int:
+    """Definition 8 on raw itemsets: |α ∪ β| − |α ∩ β|."""
+    a = frozenset(alpha)
+    b = frozenset(beta)
+    return len(a ^ b)
+
+
+def pattern_edit_distance(alpha: Pattern, beta: Pattern) -> int:
+    """Definition 8 on mined patterns (ignores support sets by design)."""
+    return len(alpha.items ^ beta.items)

@@ -1,0 +1,64 @@
+"""Greedy K-center selection in itemset-edit-distance space.
+
+Section 3.2 frames the ideal K-pattern answer as the K-Center problem: pick
+K centers minimizing the maximum distance from any pattern in the complete
+set to its nearest center.  K-Center is NP-hard; the classic Gonzalez
+farthest-point-first greedy is a 2-approximation and serves here as the
+*offline upper bound* on achievable quality — an extension beyond the paper,
+used by the ablation benches to show how close Pattern-Fusion (which never
+sees the complete set) comes to a method that does.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.evaluation.edit_distance import pattern_edit_distance
+from repro.mining.results import Pattern
+
+__all__ = ["greedy_k_center", "coverage_radius"]
+
+
+def greedy_k_center(
+    complete: list[Pattern],
+    k: int,
+    rng: random.Random | None = None,
+) -> list[Pattern]:
+    """Gonzalez farthest-point-first: a 2-approximate K-center solution.
+
+    The first center is drawn at random (seeded ``rng`` for determinism);
+    each subsequent center is the pattern farthest from all chosen centers.
+    Returns the whole population when ``k`` ≥ its size.
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    if not complete:
+        return []
+    if k >= len(complete):
+        return list(complete)
+    rng = rng or random.Random()
+    first = rng.randrange(len(complete))
+    centers = [complete[first]]
+    # distance_to_centers[i] = distance from complete[i] to nearest center.
+    distances = [pattern_edit_distance(p, centers[0]) for p in complete]
+    while len(centers) < k:
+        farthest = max(range(len(complete)), key=distances.__getitem__)
+        new_center = complete[farthest]
+        centers.append(new_center)
+        for index, pattern in enumerate(complete):
+            d = pattern_edit_distance(pattern, new_center)
+            if d < distances[index]:
+                distances[index] = d
+    return centers
+
+
+def coverage_radius(centers: list[Pattern], complete: list[Pattern]) -> int:
+    """The K-center objective: max over Q of distance to the nearest center."""
+    if not centers:
+        raise ValueError("coverage_radius needs at least one center")
+    worst = 0
+    for pattern in complete:
+        nearest = min(pattern_edit_distance(pattern, c) for c in centers)
+        if nearest > worst:
+            worst = nearest
+    return worst

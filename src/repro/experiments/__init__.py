@@ -1,0 +1,23 @@
+"""Experiment harness: one module per paper figure, plus shared plumbing."""
+
+from repro.experiments import (  # noqa: F401  (registry imports these lazily)
+    fig6_diag_runtime,
+    fig7_diag_approx,
+    fig8_replace_approx,
+    fig9_all_comparison,
+    fig10_all_runtime,
+)
+from repro.experiments.ascii_chart import line_chart
+from repro.experiments.base import ExperimentResult, TimedOutcome, timed
+
+__all__ = [
+    "ExperimentResult",
+    "TimedOutcome",
+    "timed",
+    "line_chart",
+    "fig6_diag_runtime",
+    "fig7_diag_approx",
+    "fig8_replace_approx",
+    "fig9_all_comparison",
+    "fig10_all_runtime",
+]

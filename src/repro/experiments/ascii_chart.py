@@ -1,0 +1,68 @@
+"""Minimal ASCII charts for rendering the paper's figures in a terminal.
+
+No plotting dependency is available offline, and the figures' information
+content is one or two (x, y) series each — a character grid carries it fine.
+Log-scale support matters because Figures 6 and 10 are runtime explosions.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+__all__ = ["line_chart"]
+
+_MARKERS = "*o+x#@"
+
+
+def line_chart(
+    series: dict[str, Sequence[tuple[float, float | None]]],
+    width: int = 64,
+    height: int = 16,
+    log_y: bool = False,
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Plot named (x, y) series on a character grid.
+
+    ``None`` y-values (timeouts) are skipped.  With ``log_y``, non-positive
+    values are clamped to the smallest positive value present.
+    """
+    points: list[tuple[float, float, int]] = []
+    names = list(series)
+    for index, name in enumerate(names):
+        for x, y in series[name]:
+            if y is None:
+                continue
+            points.append((float(x), float(y), index))
+    if not points:
+        return "(no data)"
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    if log_y:
+        positive = [y for y in ys if y > 0]
+        floor = min(positive) if positive else 1.0
+        ys = [math.log10(max(y, floor)) for y in ys]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = x_hi - x_lo or 1.0
+    y_span = y_hi - y_lo or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for (x, raw_y, index), y in zip(points, ys):
+        col = round((x - x_lo) / x_span * (width - 1))
+        row = height - 1 - round((y - y_lo) / y_span * (height - 1))
+        grid[row][col] = _MARKERS[index % len(_MARKERS)]
+    top = f"{(10 ** y_hi if log_y else y_hi):.3g}"
+    bottom = f"{(10 ** y_lo if log_y else y_lo):.3g}"
+    lines = []
+    for r, row in enumerate(grid):
+        prefix = top if r == 0 else (bottom if r == height - 1 else "")
+        lines.append(f"{prefix:>8} |{''.join(row)}")
+    lines.append(" " * 9 + "+" + "-" * width)
+    lines.append(f"{'':9}{x_lo:<10.3g}{x_label:^{max(0, width - 20)}}{x_hi:>10.3g}")
+    legend = "   ".join(
+        f"{_MARKERS[i % len(_MARKERS)]} {name}" for i, name in enumerate(names)
+    )
+    scale = f"{y_label}" + (" (log scale)" if log_y else "")
+    lines.append(f"{'':9}{legend}    [{scale}]")
+    return "\n".join(lines)

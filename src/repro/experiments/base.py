@@ -1,0 +1,89 @@
+"""Shared infrastructure for the paper-figure experiments.
+
+Every experiment module exposes ``run(config) -> ExperimentResult``; an
+:class:`ExperimentResult` is a titled table of rows plus free-form notes, so
+the CLI, the benchmarks, and EXPERIMENTS.md all render the same object.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+__all__ = ["ExperimentResult", "timed", "TimedOutcome"]
+
+
+@dataclass(slots=True)
+class ExperimentResult:
+    """A reproduced figure/table: header row, data rows, commentary."""
+
+    experiment_id: str
+    title: str
+    columns: tuple[str, ...]
+    rows: list[tuple[object, ...]] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add_row(self, *values: object) -> None:
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"row has {len(values)} values for {len(self.columns)} columns"
+            )
+        self.rows.append(values)
+
+    def note(self, text: str) -> None:
+        self.notes.append(text)
+
+    def format(self) -> str:
+        """Render as a fixed-width table with title and notes."""
+        cells = [tuple(_fmt(v) for v in row) for row in self.rows]
+        widths = [
+            max(len(self.columns[i]), *(len(r[i]) for r in cells)) if cells
+            else len(self.columns[i])
+            for i in range(len(self.columns))
+        ]
+        header = " | ".join(c.rjust(w) for c, w in zip(self.columns, widths))
+        rule = "-+-".join("-" * w for w in widths)
+        lines = [f"== {self.experiment_id}: {self.title} ==", header, rule]
+        for row in cells:
+            lines.append(" | ".join(v.rjust(w) for v, w in zip(row, widths)))
+        for note in self.notes:
+            lines.append(f"  * {note}")
+        return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.4f}" if abs(value) < 100 else f"{value:.1f}"
+    return str(value)
+
+
+@dataclass(frozen=True, slots=True)
+class TimedOutcome:
+    """Wall-clock result of a callable that may exceed its budget."""
+
+    seconds: float | None
+    """Elapsed seconds, or None when the call timed out."""
+    value: object | None
+    timed_out: bool
+
+
+def timed(fn: Callable[[], object], max_seconds: float | None = None) -> TimedOutcome:
+    """Run ``fn`` and time it; translate TimeoutError into a timed-out row.
+
+    Miners in this package accept ``max_seconds`` themselves and raise
+    :class:`TimeoutError`; this helper converts that into the "did not
+    finish" rows the paper's runtime figures report.
+    """
+    start = time.perf_counter()
+    try:
+        value = fn()
+    except TimeoutError:
+        return TimedOutcome(seconds=None, value=None, timed_out=True)
+    return TimedOutcome(
+        seconds=time.perf_counter() - start, value=value, timed_out=False
+    )

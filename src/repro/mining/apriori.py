@@ -1,0 +1,116 @@
+"""Apriori: breadth-first frequent-itemset mining with candidate generation.
+
+Agrawal & Srikant (VLDB'94) — the canonical level-wise miner the paper
+contrasts with.  Level k candidates are joins of level k−1 frequent itemsets
+sharing a (k−2)-prefix, pruned by the downward-closure property, then counted
+against the vertical database.  Exactly the "incremental pattern-growth"
+strategy whose exponential mid-size blow-up motivates Pattern-Fusion.
+"""
+
+from __future__ import annotations
+
+from repro.db.transaction_db import TransactionDatabase
+from repro.mining.results import MiningResult, Pattern, Stopwatch
+
+__all__ = ["apriori"]
+
+
+def apriori(
+    db: TransactionDatabase,
+    minsup: float | int,
+    max_size: int | None = None,
+) -> MiningResult:
+    """Mine all frequent itemsets with Apriori.
+
+    Parameters
+    ----------
+    db:
+        The transaction database.
+    minsup:
+        Minimum support — relative in ``(0, 1]`` (float) or absolute (int ≥ 1).
+    max_size:
+        Optional cap on pattern cardinality; mining stops after that level.
+        ``apriori(db, s, max_size=L)`` is how Pattern-Fusion's initial pool
+        is described in the paper (complete set of patterns up to size L).
+
+    Returns
+    -------
+    MiningResult
+        All frequent itemsets of size ≥ 1 (and ≤ ``max_size`` if given).
+    """
+    absolute = db.absolute_minsup(minsup)
+    with Stopwatch() as clock:
+        patterns = _apriori_patterns(db, absolute, max_size)
+    return MiningResult(
+        algorithm="apriori",
+        minsup=absolute,
+        patterns=patterns,
+        elapsed_seconds=clock.elapsed,
+    )
+
+
+def _apriori_patterns(
+    db: TransactionDatabase, minsup: int, max_size: int | None
+) -> list[Pattern]:
+    patterns: list[Pattern] = []
+    # Level 1: frequent single items.
+    level: dict[tuple[int, ...], int] = {}
+    for item in db.frequent_items(minsup):
+        tidset = db.item_tidset(item)
+        level[(item,)] = tidset
+        patterns.append(Pattern(items=frozenset((item,)), tidset=tidset))
+    k = 1
+    while level and (max_size is None or k < max_size):
+        k += 1
+        frequent_prev = set(level)
+        candidates = _generate_candidates(sorted(level), frequent_prev)
+        next_level: dict[tuple[int, ...], int] = {}
+        for candidate in candidates:
+            # Count by intersecting the two parent tidsets that generated it.
+            prefix = candidate[:-1]
+            last_pair = candidate[:-2] + (candidate[-1],)
+            tidset = level[prefix] & level[last_pair]
+            if tidset.bit_count() >= minsup:
+                next_level[candidate] = tidset
+                patterns.append(Pattern(items=frozenset(candidate), tidset=tidset))
+        level = next_level
+    return patterns
+
+
+def _generate_candidates(
+    sorted_frequent: list[tuple[int, ...]],
+    frequent_prev: set[tuple[int, ...]],
+) -> list[tuple[int, ...]]:
+    """Join step + prune step of Apriori candidate generation.
+
+    Joins pairs of (k−1)-itemsets sharing their first k−2 items, then prunes
+    any candidate with an infrequent (k−1)-subset (downward closure).
+    """
+    candidates: list[tuple[int, ...]] = []
+    n = len(sorted_frequent)
+    for i in range(n):
+        head = sorted_frequent[i]
+        prefix = head[:-1]
+        for j in range(i + 1, n):
+            other = sorted_frequent[j]
+            if other[:-1] != prefix:
+                break  # sorted order: no further joins share this prefix
+            candidate = head + (other[-1],)
+            if _all_subsets_frequent(candidate, frequent_prev):
+                candidates.append(candidate)
+    return candidates
+
+
+def _all_subsets_frequent(
+    candidate: tuple[int, ...], frequent_prev: set[tuple[int, ...]]
+) -> bool:
+    """Prune step: every (k−1)-subset of the candidate must be frequent.
+
+    The two subsets that formed the join are frequent by construction, so only
+    the ones dropping an earlier position need checking.
+    """
+    for drop in range(len(candidate) - 2):
+        subset = candidate[:drop] + candidate[drop + 1 :]
+        if subset not in frequent_prev:
+            return False
+    return True

@@ -1,0 +1,53 @@
+"""Bounded-size complete mining — Pattern-Fusion's initial pool.
+
+The paper's phase 1 ("Initial Pool") needs *the complete set of frequent
+patterns up to a small size*, e.g. ≤ 3, minable "with any existing efficient
+mining algorithm".  This module is that step, delegating the traversal to the
+Eclat engine with a depth cap and re-labelling the provenance, plus helpers
+for the pool-size bookkeeping the experiments report (e.g. Diag40's "initial
+pool of 820 patterns of size ≤ 2").
+"""
+
+from __future__ import annotations
+
+from repro.db.transaction_db import TransactionDatabase
+from repro.mining.eclat import eclat
+from repro.mining.results import MiningResult
+
+__all__ = ["mine_up_to_size", "expected_pool_size_upper_bound"]
+
+
+def mine_up_to_size(
+    db: TransactionDatabase,
+    minsup: float | int,
+    max_size: int,
+) -> MiningResult:
+    """All frequent patterns α with 1 ≤ |α| ≤ ``max_size``.
+
+    This is the complete answer for the bounded lattice prefix, so it is safe
+    to use both as Pattern-Fusion's initial pool and as ground truth in tests.
+    """
+    if max_size < 1:
+        raise ValueError(f"max_size must be >= 1, got {max_size}")
+    result = eclat(db, minsup, max_size=max_size)
+    result.algorithm = f"levelwise(<= {max_size})"
+    return result
+
+
+def expected_pool_size_upper_bound(n_items: int, max_size: int) -> int:
+    """Number of itemsets of size ≤ ``max_size`` over ``n_items`` items.
+
+    The loose upper bound sum_{k=1..L} C(n, k); the paper quotes the exact
+    value for Diag40 (820 patterns of size ≤ 2) where every such itemset is
+    frequent, so the bound is tight there.
+    """
+    if n_items < 0:
+        raise ValueError("n_items must be non-negative")
+    total = 0
+    binomial = 1
+    for k in range(1, max_size + 1):
+        binomial = binomial * (n_items - k + 1) // k
+        if binomial <= 0:
+            break
+        total += binomial
+    return total

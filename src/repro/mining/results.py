@@ -1,0 +1,134 @@
+"""Shared result types for all miners.
+
+Every miner in :mod:`repro.mining` — and the Pattern-Fusion core itself —
+speaks :class:`Pattern`: an itemset together with its support set (tidset
+bitmask).  Keeping the tidset on the pattern is what makes Pattern-Fusion's
+distance computations (Def. 6) and core-ratio checks (Def. 3) O(1) big-int
+operations instead of repeated database scans.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass, field
+
+from repro.db.transaction_db import TransactionDatabase
+
+__all__ = ["Pattern", "MiningResult", "make_pattern", "patterns_equal_as_sets"]
+
+
+@dataclass(frozen=True, slots=True)
+class Pattern:
+    """A frequent pattern: itemset plus its support set.
+
+    ``tidset`` is the bitmask of supporting transaction ids (see
+    :mod:`repro.db.bitset`).  Two patterns are equal iff their itemsets are
+    equal; the tidset is derived data and every construction path computes it
+    from the same database, so it never disagrees for equal itemsets.
+    """
+
+    items: frozenset[int]
+    tidset: int = field(compare=False)
+
+    @property
+    def support(self) -> int:
+        """Absolute support |D_α|."""
+        return self.tidset.bit_count()
+
+    @property
+    def size(self) -> int:
+        """Cardinality |α| — the quantity "colossal" refers to."""
+        return len(self.items)
+
+    def relative_support(self, n_transactions: int) -> float:
+        """s(α) = |D_α| / |D|."""
+        if n_transactions <= 0:
+            raise ValueError("n_transactions must be positive")
+        return self.support / n_transactions
+
+    def is_subpattern_of(self, other: "Pattern") -> bool:
+        """α ⊆ α′ (not necessarily proper)."""
+        return self.items <= other.items
+
+    def sorted_items(self) -> tuple[int, ...]:
+        """Items in ascending id order (stable display / dedup key)."""
+        return tuple(sorted(self.items))
+
+    def __str__(self) -> str:
+        inner = ",".join(str(i) for i in self.sorted_items())
+        return f"{{{inner}}}#{self.support}"
+
+
+def make_pattern(db: TransactionDatabase, items: Iterable[int]) -> Pattern:
+    """Build a :class:`Pattern` for ``items``, computing its tidset in ``db``."""
+    itemset = frozenset(items)
+    return Pattern(items=itemset, tidset=db.tidset(itemset))
+
+
+@dataclass(slots=True)
+class MiningResult:
+    """Outcome of one miner invocation.
+
+    Carries provenance (algorithm name, threshold, wall-clock time) so the
+    experiment harness can print the paper's runtime series without wrapping
+    every call site in its own timer.
+    """
+
+    algorithm: str
+    minsup: int
+    patterns: list[Pattern]
+    elapsed_seconds: float = 0.0
+
+    def __len__(self) -> int:
+        return len(self.patterns)
+
+    def __iter__(self) -> Iterator[Pattern]:
+        return iter(self.patterns)
+
+    def itemsets(self) -> set[frozenset[int]]:
+        """The bare itemsets, for set-level comparisons between miners."""
+        return {p.items for p in self.patterns}
+
+    def support_map(self) -> dict[frozenset[int], int]:
+        """Map itemset → absolute support."""
+        return {p.items: p.support for p in self.patterns}
+
+    def of_size_at_least(self, min_size: int) -> list[Pattern]:
+        """Patterns with |α| ≥ ``min_size`` (the colossal slice)."""
+        return [p for p in self.patterns if p.size >= min_size]
+
+    def size_histogram(self) -> dict[int, int]:
+        """Map pattern size → count, sorted descending by size."""
+        histogram: dict[int, int] = {}
+        for p in self.patterns:
+            histogram[p.size] = histogram.get(p.size, 0) + 1
+        return dict(sorted(histogram.items(), reverse=True))
+
+    def largest(self, k: int = 1) -> list[Pattern]:
+        """The ``k`` largest patterns by size (ties broken by support, items)."""
+        ranked = sorted(
+            self.patterns,
+            key=lambda p: (-p.size, -p.support, p.sorted_items()),
+        )
+        return ranked[:k]
+
+
+def patterns_equal_as_sets(a: Iterable[Pattern], b: Iterable[Pattern]) -> bool:
+    """True when two pattern collections contain the same itemsets."""
+    return {p.items for p in a} == {p.items for p in b}
+
+
+class Stopwatch:
+    """Tiny context manager used by miners to fill ``elapsed_seconds``."""
+
+    def __init__(self) -> None:
+        self.elapsed = 0.0
+        self._start = 0.0
+
+    def __enter__(self) -> "Stopwatch":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.elapsed = time.perf_counter() - self._start

@@ -1,0 +1,59 @@
+"""Synthetic sequence workloads for the sequential extension.
+
+``motif_sequences`` plants one or more long motifs (colossal subsequences)
+inside noisy event streams — the sequential analogue of the planted blocks
+in the itemset datasets: short patterns explode combinatorially while only
+the motifs are colossal.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.sequences.sequence_db import SequenceDatabase
+
+__all__ = ["motif_sequences"]
+
+
+def motif_sequences(
+    n_sequences: int = 200,
+    motif_lengths: tuple[int, ...] = (30,),
+    motif_support: float = 0.6,
+    noise_items: int = 40,
+    noise_per_gap: int = 2,
+    seed: int = 0,
+) -> tuple[SequenceDatabase, tuple[tuple[int, ...], ...]]:
+    """Generate noisy event streams with planted motifs.
+
+    Each motif gets its own item alphabet (ids after the noise range) and is
+    planted, in order, into ``motif_support`` of the sequences with random
+    noise events interleaved between consecutive motif items.  Sequences
+    without a motif are pure noise.  Returns the database and the planted
+    motifs (each is frequent by construction).
+    """
+    if not 0.0 < motif_support <= 1.0:
+        raise ValueError(f"motif_support must be in (0, 1], got {motif_support}")
+    if min(n_sequences, noise_items) < 1 or min(motif_lengths, default=1) < 1:
+        raise ValueError("all size parameters must be >= 1")
+    rng = random.Random(seed)
+    motifs: list[tuple[int, ...]] = []
+    next_item = noise_items
+    for length in motif_lengths:
+        motifs.append(tuple(range(next_item, next_item + length)))
+        next_item += length
+    sequences: list[list[int]] = []
+    for _ in range(n_sequences):
+        row: list[int] = []
+        planted = [m for m in motifs if rng.random() < motif_support]
+        if planted:
+            motif = planted[rng.randrange(len(planted))]
+            for event in motif:
+                for _ in range(rng.randint(0, noise_per_gap)):
+                    row.append(rng.randrange(noise_items))
+                row.append(event)
+        else:
+            for _ in range(rng.randint(8, 20)):
+                row.append(rng.randrange(noise_items))
+        sequences.append(row)
+    db = SequenceDatabase(sequences, n_items=next_item)
+    return db, tuple(motifs)

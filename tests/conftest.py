@@ -1,0 +1,58 @@
+"""Shared fixtures: the paper's worked-example database and small workloads."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.db import TransactionDatabase
+from repro.datasets import quest_like
+
+# Items of the Figure 3 example: a=0, b=1, c=2, e=3, f=4.
+A, B, C, E, F = 0, 1, 2, 3, 4
+
+
+def figure3_transactions(duplicates: int = 100) -> list[list[int]]:
+    """The paper's Figure 3 database: four distinct transactions, duplicated.
+
+    (abe), (bcf), (acf), (abcef) — with 100 copies each in the paper.
+    """
+    rows = [
+        [A, B, E],
+        [B, C, F],
+        [A, C, F],
+        [A, B, C, E, F],
+    ]
+    return [list(row) for row in rows for _ in range(duplicates)]
+
+
+@pytest.fixture
+def figure3_db() -> TransactionDatabase:
+    """Figure 3's database with the paper's 100-fold duplication."""
+    return TransactionDatabase(figure3_transactions(), n_items=5)
+
+
+@pytest.fixture
+def figure3_db_small() -> TransactionDatabase:
+    """Figure 3's database with single copies (same support *ratios*)."""
+    return TransactionDatabase(figure3_transactions(duplicates=1), n_items=5)
+
+
+@pytest.fixture
+def tiny_db() -> TransactionDatabase:
+    """Five hand-auditable transactions over six items."""
+    return TransactionDatabase(
+        [
+            [0, 1, 2],
+            [0, 1],
+            [0, 2, 3],
+            [1, 2, 4],
+            [0, 1, 2, 5],
+        ],
+        n_items=6,
+    )
+
+
+@pytest.fixture
+def quest_db() -> TransactionDatabase:
+    """A mid-size planted-pattern database for cross-miner checks."""
+    return quest_like(n_transactions=120, n_items=24, n_patterns=8, seed=42)

@@ -1,0 +1,96 @@
+"""Tests for the pivot-based metric index (repro.core.ball_index)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.ball_index import PatternBallIndex
+from repro.core.distance import ball
+from repro.mining.results import Pattern
+
+tidsets = st.integers(min_value=0, max_value=2**20 - 1)
+pools = st.lists(tidsets, min_size=1, max_size=40).map(
+    lambda masks: [
+        Pattern(items=frozenset([i]), tidset=mask) for i, mask in enumerate(masks)
+    ]
+)
+
+
+class TestCorrectness:
+    @given(pools, tidsets, st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=120, deadline=None)
+    def test_equals_brute_force(self, pool, center_mask, radius):
+        """Index queries must return exactly the brute-force ball."""
+        center = Pattern(items=frozenset([99]), tidset=center_mask)
+        index = PatternBallIndex(pool, n_pivots=4, rng=random.Random(0))
+        expected = {p.items for p in ball(center, pool, radius)}
+        got = {p.items for p in index.ball(center, radius)}
+        assert got == expected
+
+    def test_zero_pivots_degenerates_to_scan(self):
+        pool = [Pattern(items=frozenset([i]), tidset=1 << i) for i in range(5)]
+        index = PatternBallIndex(pool, n_pivots=0)
+        center = pool[0]
+        assert index.ball(center, 1.0) == pool
+
+    def test_negative_radius_empty(self):
+        pool = [Pattern(items=frozenset([1]), tidset=0b1)]
+        index = PatternBallIndex(pool)
+        assert index.ball(pool[0], -0.1) == []
+
+    def test_empty_pool(self):
+        index = PatternBallIndex([])
+        center = Pattern(items=frozenset([1]), tidset=0b1)
+        assert index.ball(center, 0.5) == []
+        assert index.exclusion_rate(center, 0.5) == 0.0
+
+    def test_invalid_pivots(self):
+        with pytest.raises(ValueError):
+            PatternBallIndex([], n_pivots=-1)
+
+
+class TestEffectiveness:
+    def test_pivots_exclude_on_clustered_pools(self):
+        """Two tight tidset clusters: pivots must exclude the far cluster."""
+        rng = random.Random(0)
+        near = [
+            Pattern(items=frozenset([i]), tidset=0b1111_1111 ^ (1 << (i % 4)))
+            for i in range(20)
+        ]
+        far = [
+            Pattern(items=frozenset([100 + i]),
+                    tidset=(0b1111_1111 << 40) ^ (1 << (40 + i % 4)))
+            for i in range(20)
+        ]
+        pool = near + far
+        index = PatternBallIndex(pool, n_pivots=6, rng=rng)
+        rate = index.exclusion_rate(near[0], 0.3)
+        assert rate >= 0.4  # at least the far cluster is pruned
+
+    def test_query_results_sorted_subset_of_pool(self):
+        pool = [Pattern(items=frozenset([i]), tidset=(1 << i) | 1) for i in range(12)]
+        index = PatternBallIndex(pool, n_pivots=3, rng=random.Random(1))
+        got = index.ball(pool[0], 0.6)
+        assert all(p in pool for p in got)
+
+
+class TestFusionIntegration:
+    def test_index_and_brute_agree_end_to_end(self):
+        """Pattern-Fusion results are identical with and without the index."""
+        from repro.core import PatternFusionConfig, pattern_fusion
+        from repro.datasets import diag
+
+        db = diag(30)
+        base = dict(k=20, initial_pool_max_size=2, seed=11)
+        with_index = pattern_fusion(
+            db, 15,
+            PatternFusionConfig(**base, use_ball_index=True, ball_index_min_pool=0),
+        )
+        without = pattern_fusion(
+            db, 15, PatternFusionConfig(**base, use_ball_index=False)
+        )
+        assert {p.items for p in with_index.patterns} == {
+            p.items for p in without.patterns
+        }

@@ -1,0 +1,122 @@
+"""Unit tests for repro.db.bitset."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.db import bitset
+
+tid_sets = st.sets(st.integers(min_value=0, max_value=200), max_size=40)
+
+
+class TestConstruction:
+    def test_empty(self):
+        assert bitset.bitset_from_ids([]) == 0
+
+    def test_single(self):
+        assert bitset.bitset_from_ids([0]) == 1
+        assert bitset.bitset_from_ids([3]) == 8
+
+    def test_duplicates_collapse(self):
+        assert bitset.bitset_from_ids([2, 2, 2]) == 4
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            bitset.bitset_from_ids([-1])
+
+    @given(tid_sets)
+    def test_roundtrip(self, ids):
+        mask = bitset.bitset_from_ids(ids)
+        assert set(bitset.bitset_to_ids(mask)) == ids
+
+    @given(tid_sets)
+    def test_to_ids_sorted(self, ids):
+        out = bitset.bitset_to_ids(bitset.bitset_from_ids(ids))
+        assert out == sorted(out)
+
+
+class TestIteration:
+    def test_iter_order(self):
+        mask = bitset.bitset_from_ids([5, 1, 9])
+        assert list(bitset.iter_ids(mask)) == [1, 5, 9]
+
+    def test_iter_rejects_negative(self):
+        with pytest.raises(ValueError):
+            list(bitset.iter_ids(-1))
+
+
+class TestCardinalityMembership:
+    @given(tid_sets)
+    def test_cardinality(self, ids):
+        assert bitset.cardinality(bitset.bitset_from_ids(ids)) == len(ids)
+
+    @given(tid_sets, st.integers(min_value=0, max_value=200))
+    def test_contains(self, ids, probe):
+        mask = bitset.bitset_from_ids(ids)
+        assert bitset.contains(mask, probe) == (probe in ids)
+
+    def test_add_remove(self):
+        mask = bitset.bitset_from_ids([1, 2])
+        assert bitset.add(mask, 7) == bitset.bitset_from_ids([1, 2, 7])
+        assert bitset.remove(mask, 2) == bitset.bitset_from_ids([1])
+        assert bitset.remove(mask, 9) == mask  # absent id is a no-op
+
+
+class TestSetAlgebra:
+    @given(tid_sets, tid_sets)
+    def test_intersect_matches_sets(self, a, b):
+        got = bitset.intersect_all(
+            [bitset.bitset_from_ids(a), bitset.bitset_from_ids(b)]
+        )
+        assert set(bitset.bitset_to_ids(got)) == a & b
+
+    @given(tid_sets, tid_sets)
+    def test_union_matches_sets(self, a, b):
+        got = bitset.union_all([bitset.bitset_from_ids(a), bitset.bitset_from_ids(b)])
+        assert set(bitset.bitset_to_ids(got)) == a | b
+
+    def test_intersect_with_start(self):
+        start = bitset.bitset_from_ids([1, 2, 3])
+        assert bitset.intersect_all([], start=start) == start
+
+    def test_intersect_empty_undefined(self):
+        with pytest.raises(ValueError):
+            bitset.intersect_all([])
+
+    def test_union_empty_is_empty(self):
+        assert bitset.union_all([]) == 0
+
+    @given(tid_sets, tid_sets)
+    def test_subset_relations(self, a, b):
+        mask_a = bitset.bitset_from_ids(a)
+        mask_b = bitset.bitset_from_ids(b)
+        assert bitset.is_subset(mask_a, mask_b) == (a <= b)
+        assert bitset.is_superset(mask_a, mask_b) == (a >= b)
+
+
+class TestJaccard:
+    def test_identical_sets(self):
+        mask = bitset.bitset_from_ids([1, 5])
+        assert bitset.jaccard(mask, mask) == 1.0
+
+    def test_disjoint_sets(self):
+        assert bitset.jaccard(0b0011, 0b1100) == 0.0
+
+    def test_both_empty_defined_as_one(self):
+        assert bitset.jaccard(0, 0) == 1.0
+
+    @given(tid_sets, tid_sets)
+    def test_matches_set_formula(self, a, b):
+        got = bitset.jaccard(bitset.bitset_from_ids(a), bitset.bitset_from_ids(b))
+        expected = len(a & b) / len(a | b) if (a | b) else 1.0
+        assert got == pytest.approx(expected)
+
+
+class TestUniverse:
+    def test_sizes(self):
+        assert bitset.universe(0) == 0
+        assert bitset.universe(3) == 0b111
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            bitset.universe(-1)

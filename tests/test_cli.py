@@ -1,0 +1,136 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.db import read_fimi
+
+
+@pytest.fixture
+def dat_file(tmp_path):
+    path = tmp_path / "toy.dat"
+    rows = ["0 1 4", "0 1", "1 2", "0 1 2", "0 2 3"]
+    path.write_text("\n".join(rows) + "\n")
+    return path
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_mine_requires_dataset_or_input(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["mine", "--minsup", "2"])
+
+    def test_dataset_and_input_exclusive(self, dat_file):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["mine", "--input", str(dat_file), "--dataset", "diag",
+                 "--minsup", "2"]
+            )
+
+
+class TestMine:
+    @pytest.mark.parametrize(
+        "algorithm", ["apriori", "eclat", "fpgrowth", "closed", "maximal",
+                      "carpenter"]
+    )
+    def test_each_algorithm(self, dat_file, capsys, algorithm):
+        code = main(["mine", "--input", str(dat_file), "--minsup", "2",
+                     "--algorithm", algorithm])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert algorithm in out
+        assert "patterns at minsup 2" in out
+
+    def test_topk(self, dat_file, capsys):
+        code = main(["mine", "--input", str(dat_file), "--minsup", "1",
+                     "--algorithm", "topk", "--top-k", "3"])
+        assert code == 0
+        assert "topk: 3 patterns" in capsys.readouterr().out
+
+    def test_pool(self, dat_file, capsys):
+        code = main(["mine", "--input", str(dat_file), "--minsup", "2",
+                     "--algorithm", "pool", "--min-size", "2"])
+        assert code == 0
+        assert "levelwise" in capsys.readouterr().out
+
+    def test_builtin_dataset(self, capsys):
+        code = main(["mine", "--dataset", "diag", "--n", "8", "--minsup", "4",
+                     "--algorithm", "maximal"])
+        assert code == 0
+        assert "70 patterns" in capsys.readouterr().out
+
+    def test_limit_truncates(self, dat_file, capsys):
+        main(["mine", "--input", str(dat_file), "--minsup", "1", "--limit", "2"])
+        assert "more" in capsys.readouterr().out
+
+
+class TestFuse:
+    def test_diag_plus_finds_block(self, capsys):
+        code = main(["fuse", "--dataset", "diag-plus", "--minsup", "20",
+                     "--k", "10", "--pool-size", "2", "--seed", "0"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "pattern-fusion" in out
+        assert "size  39" in out
+
+    def test_fimi_input(self, dat_file, capsys):
+        code = main(["fuse", "--input", str(dat_file), "--minsup", "2",
+                     "--k", "3"])
+        assert code == 0
+
+
+class TestEvaluate:
+    def test_roundtrip(self, dat_file, tmp_path, capsys):
+        mined = tmp_path / "mined.dat"
+        reference = tmp_path / "ref.dat"
+        mined.write_text("0 1\n")
+        reference.write_text("0 1\n0 1 2\n")
+        code = main(["evaluate", "--input", str(dat_file),
+                     "--mined", str(mined), "--reference", str(reference)])
+        assert code == 0
+        assert "delta(AP_Q)" in capsys.readouterr().out
+
+    def test_empty_files_rejected(self, dat_file, tmp_path, capsys):
+        empty = tmp_path / "empty.dat"
+        empty.write_text("")
+        code = main(["evaluate", "--input", str(dat_file),
+                     "--mined", str(empty), "--reference", str(empty)])
+        assert code == 2
+
+
+class TestDatasets:
+    def test_generate_diag(self, tmp_path, capsys):
+        out = tmp_path / "diag.dat"
+        code = main(["datasets", "diag", "--n", "6", "--out", str(out)])
+        assert code == 0
+        db = read_fimi(out)
+        assert db.n_transactions == 6
+        assert all(len(t) == 5 for t in db.transactions)
+
+    def test_generate_quest(self, tmp_path):
+        out = tmp_path / "quest.dat"
+        assert main(["datasets", "quest", "--out", str(out)]) == 0
+        assert read_fimi(out).n_transactions == 200
+
+
+class TestExperimentCommand:
+    def test_fig6_small_runs(self, capsys, monkeypatch):
+        # Patch the registry to a fast config so the CLI path stays quick.
+        from repro.experiments import fig6_diag_runtime
+        from repro.experiments import registry as registry_module
+
+        spec = registry_module.REGISTRY["fig6"]
+        fast = registry_module.ExperimentSpec(
+            spec.experiment_id, spec.paper_artifact, spec.description,
+            lambda: fig6_diag_runtime.run(
+                fig6_diag_runtime.Fig6Config(
+                    baseline_sizes=(6,), fusion_sizes=(6,), baseline_timeout=10.0
+                )
+            ),
+        )
+        monkeypatch.setitem(registry_module.REGISTRY, "fig6", fast)
+        assert main(["experiment", "fig6"]) == 0
+        assert "fig6" in capsys.readouterr().out

@@ -1,0 +1,199 @@
+"""Tests for repro.core.core_pattern against the paper's Figure 3 example.
+
+A reproduction note (also recorded in EXPERIMENTS.md): Figure 3's rows for
+α₁=(abe), α₂=(bcf), α₃=(acf) compute the ratios with |D_αi| = 100 — the
+count of each transaction type's own duplicates — but under Definition 1
+these patterns are also contained in the (abcef) transactions, so their true
+supports are 200.  The α₄=(abcef) row *is* consistent with Definition 1
+(exactly 26 core patterns; (4, 0.5)-robust), and we verify it verbatim.  For
+α₁…α₃ we assert the values implied by Definition 1 and the library's audited
+support counting, not the table's simplified numerators.
+"""
+
+import pytest
+
+from repro.core.core_pattern import (
+    complementary_core_sets,
+    core_patterns,
+    core_ratio,
+    is_core_descendant,
+    is_core_pattern,
+    robustness,
+)
+from repro.db import TransactionDatabase
+from tests.conftest import A, B, C, E, F
+
+ABE = frozenset([A, B, E])
+BCF = frozenset([B, C, F])
+ACF = frozenset([A, C, F])
+ABCEF = frozenset([A, B, C, E, F])
+
+
+def all_nonempty_subsets(items):
+    from itertools import combinations
+
+    out = set()
+    items = sorted(items)
+    for size in range(1, len(items) + 1):
+        for combo in combinations(items, size):
+            out.add(frozenset(combo))
+    return out
+
+
+class TestCoreRatio:
+    def test_ab_of_abe(self, figure3_db):
+        # D_abe = 200 (the abe rows and the abcef rows); D_ab = 200 as well.
+        assert core_ratio(figure3_db, ABE, frozenset([A, B])) == pytest.approx(1.0)
+
+    def test_abe_of_abcef_matches_paper(self, figure3_db):
+        # The α₄ row of Figure 3 is Definition-1-consistent: 100/200.
+        assert core_ratio(figure3_db, ABCEF, ABE) == pytest.approx(0.5)
+
+    def test_not_subset_rejected(self, figure3_db):
+        with pytest.raises(ValueError):
+            core_ratio(figure3_db, ABE, frozenset([C]))
+
+    def test_empty_beta_allowed(self, figure3_db):
+        # The empty pattern's support set is all 400 transactions.
+        assert core_ratio(figure3_db, ABE, frozenset()) == pytest.approx(0.5)
+
+
+class TestIsCorePattern:
+    def test_positive(self, figure3_db):
+        assert is_core_pattern(figure3_db, ABE, frozenset([A, B]), tau=0.5)
+
+    def test_negative_at_stricter_tau(self, figure3_db):
+        # (a): |D_abe|/|D_a| = 200/300 ≈ 0.67 — core at 0.5, not at 0.7.
+        assert is_core_pattern(figure3_db, ABE, frozenset([A]), tau=0.5)
+        assert not is_core_pattern(figure3_db, ABE, frozenset([A]), tau=0.7)
+
+    def test_paper_negative_for_abcef(self, figure3_db):
+        # (a) is absent from Figure 3's α₄ core list: 100/300 < 0.5.
+        assert not is_core_pattern(figure3_db, ABCEF, frozenset([A]), tau=0.5)
+
+    def test_alpha_is_own_core(self, figure3_db):
+        assert is_core_pattern(figure3_db, ABE, ABE, tau=1.0)
+
+    def test_non_subset(self, figure3_db):
+        assert not is_core_pattern(figure3_db, ABE, frozenset([C]), tau=0.1)
+
+    def test_invalid_tau(self, figure3_db):
+        with pytest.raises(ValueError):
+            is_core_pattern(figure3_db, ABE, ABE, tau=0.0)
+
+
+class TestCorePatternsEnumeration:
+    def test_figure3_abcef_matches_paper_exactly(self, figure3_db):
+        """Figure 3 lists exactly 26 core patterns for (abcef) at τ = 0.5."""
+        got = set(core_patterns(figure3_db, ABCEF, tau=0.5))
+        expected = {
+            frozenset(s)
+            for s in (
+                [A, B], [A, C], [A, F], [A, E], [B, C], [B, F], [B, E],
+                [C, E], [F, E], [E],
+                [A, B, C], [A, B, F], [A, B, E], [A, C, E], [A, C, F],
+                [A, F, E], [B, C, F], [B, C, E], [B, F, E], [C, F, E],
+                [A, B, C, F], [A, B, C, E], [B, C, F, E], [A, C, F, E],
+                [A, B, F, E], [A, B, C, E, F],
+            )
+        }
+        assert len(expected) == 26
+        assert got == expected
+
+    def test_figure3_abe_definition1(self, figure3_db):
+        # Under Definition 1, D_abe = 200 and every non-empty subset has
+        # support ≤ 400, so every subset is a 0.5-core (see module note).
+        got = set(core_patterns(figure3_db, ABE, tau=0.5))
+        assert got == all_nonempty_subsets(ABE)
+
+    def test_figure3_bcf_stricter_tau(self, figure3_db):
+        # At τ = 0.7 the Definition-1 core set of (bcf) shrinks to the
+        # subsets supported only by the bcf/abcef rows.
+        got = set(core_patterns(figure3_db, BCF, tau=0.7))
+        assert got == {BCF, frozenset([B, C]), frozenset([B, F])}
+
+    def test_lemma2_union_closure(self, figure3_db):
+        """Lemma 2: β ∈ C_α and γ ⊆ α ⇒ β ∪ γ ∈ C_α."""
+        members = set(core_patterns(figure3_db, ABCEF, tau=0.5))
+        for beta in members:
+            for item in ABCEF:
+                assert beta | {item} in members
+
+
+class TestRobustness:
+    def test_abcef_matches_paper(self, figure3_db):
+        """α₄ = (abcef) is (4, 0.5)-robust — Definition-1-consistent row."""
+        assert robustness(figure3_db, ABCEF, tau=0.5) == 4
+
+    def test_abe_definition1(self, figure3_db):
+        # Removing all 3 items leaves the empty pattern: 200/400 = 0.5 ≥ τ.
+        assert robustness(figure3_db, ABE, tau=0.5) == 3
+
+    def test_colossal_more_robust_than_small(self, figure3_db):
+        """The observation driving the paper: larger patterns are more robust
+        (strictly here once τ separates the two)."""
+        assert robustness(figure3_db, ABCEF, tau=0.6) > robustness(
+            figure3_db, BCF, tau=0.6
+        )
+
+    def test_lemma3_exponential_core_count(self, figure3_db):
+        """Lemma 3: (d, τ)-robust α has |C_α| ≥ 2^d."""
+        for alpha in (ABE, BCF, ACF, ABCEF):
+            d = robustness(figure3_db, alpha, tau=0.5)
+            count = len(core_patterns(figure3_db, alpha, tau=0.5))
+            if d == len(alpha):
+                count += 1  # the empty pattern qualifies but isn't enumerated
+            assert count >= 2**d
+
+    def test_zero_support_rejected(self):
+        db = TransactionDatabase([[0], [1]], n_items=2)
+        with pytest.raises(ValueError):
+            robustness(db, frozenset([0, 1]), tau=0.5)
+
+    def test_tau_one_counts_support_preserving_removals(self, figure3_db):
+        # d at τ=1: removals that keep the support set identical; from abe,
+        # both (ab)... -> (e) still has D = 200 = D_abe, the empty set has 400.
+        assert robustness(figure3_db, ABE, tau=1.0) == 2
+
+
+class TestCoreDescendant:
+    def test_single_hop(self, figure3_db):
+        assert is_core_descendant(figure3_db, frozenset([A, B]), ABE, tau=0.5)
+
+    def test_equal_patterns(self, figure3_db):
+        assert is_core_descendant(figure3_db, ABE, ABE, tau=0.5)
+
+    def test_non_subset(self, figure3_db):
+        assert not is_core_descendant(figure3_db, frozenset([C]), ABE, tau=0.5)
+
+    def test_multi_hop_chain(self, figure3_db):
+        # (a) is not a direct 0.5-core of abcef (100/300), but it is a core
+        # descendant via (ab): a ∈ C_(ab) (200/300 ≥ 0.5) and (ab) ∈ C_(abcef).
+        assert not is_core_pattern(figure3_db, ABCEF, frozenset([A]), tau=0.5)
+        assert is_core_descendant(figure3_db, frozenset([A]), ABCEF, tau=0.5)
+
+
+class TestComplementarySets:
+    def test_paper_example(self, figure3_db):
+        """{(ab), (ae)} is a complementary core set of (abe)."""
+        sets = complementary_core_sets(figure3_db, ABE, tau=0.5, max_set_size=2)
+        as_frozensets = {frozenset(s) for s in sets}
+        assert frozenset([frozenset([A, B]), frozenset([A, E])]) in as_frozensets
+
+    def test_observation2_two_sets_suffice_for_abcef(self, figure3_db):
+        """Observation 2: abcef = (ab) ∪ (cef), two of its 26 core patterns."""
+        sets = complementary_core_sets(figure3_db, ABCEF, tau=0.5, max_set_size=2)
+        as_frozensets = {frozenset(s) for s in sets}
+        assert frozenset([frozenset([A, B]), frozenset([C, E, F])]) in as_frozensets
+
+    def test_every_set_covers_alpha(self, figure3_db):
+        for s in complementary_core_sets(figure3_db, ABE, tau=0.5):
+            union = frozenset().union(*s)
+            assert union == ABE
+            assert ABE not in s
+
+    def test_lemma4_lower_bound(self, figure3_db):
+        """Lemma 4: (d, τ)-robust α has |Γ_α| ≥ 2^(d-1) − 1."""
+        d = robustness(figure3_db, ABCEF, tau=0.5)
+        sets = complementary_core_sets(figure3_db, ABCEF, tau=0.5, max_set_size=3)
+        assert len(sets) >= 2 ** (d - 1) - 1

@@ -1,0 +1,216 @@
+"""Tests for the dataset generators against their documented guarantees."""
+
+import random
+
+import pytest
+
+from repro.datasets import (
+    ALL_MINSUP_ABSOLUTE,
+    ALL_N_ITEMS,
+    ALL_N_ROWS,
+    ALL_ROW_WIDTH,
+    DIAG_PLUS_COLOSSAL_SIZE,
+    PAPER_COLOSSAL_SIZES,
+    all_like,
+    diag,
+    diag_default_minsup,
+    diag_n_maximal_patterns,
+    diag_pattern,
+    diag_plus,
+    diag_support,
+    quest_like,
+    random_database,
+    replace_like,
+    sample_complete_maximal,
+)
+from repro.mining import closed_patterns, maximal_patterns
+
+
+class TestDiag:
+    def test_structure(self):
+        db = diag(5)
+        assert db.n_transactions == 5
+        assert db.n_items == 5
+        for i in range(5):
+            assert db.transaction(i) == frozenset(range(5)) - {i}
+
+    def test_analytic_support(self):
+        db = diag(12)
+        for size in (0, 1, 5, 11):
+            items = frozenset(range(size))
+            assert db.support(items) == diag_support(12, size)
+
+    def test_support_bounds(self):
+        with pytest.raises(ValueError):
+            diag_support(10, 11)
+
+    def test_maximal_count_formula(self):
+        db = diag(8)
+        result = maximal_patterns(db, diag_default_minsup(8))
+        assert len(result) == diag_n_maximal_patterns(8, 4)
+        assert all(p.size == 4 for p in result.patterns)
+
+    def test_minimum_size(self):
+        with pytest.raises(ValueError):
+            diag(1)
+
+    def test_diag_pattern_tidset(self):
+        p = diag_pattern(6, frozenset([0, 3]))
+        db = diag(6)
+        assert p.tidset == db.tidset(p.items)
+
+    def test_diag_pattern_validation(self):
+        with pytest.raises(ValueError):
+            diag_pattern(5, frozenset([7]))
+
+
+class TestDiagPlus:
+    def test_paper_dimensions(self):
+        db = diag_plus()
+        assert db.n_transactions == 60
+        assert db.n_items == 40 + DIAG_PLUS_COLOSSAL_SIZE
+
+    def test_single_colossal_pattern(self):
+        db = diag_plus()
+        block = frozenset(range(40, 79))
+        assert db.support(block) == 20
+        assert db.is_closed(block)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            diag_plus(extra_rows=0)
+
+
+class TestSampleCompleteMaximal:
+    def test_sizes_and_distinctness(self):
+        sample = sample_complete_maximal(40, 20, 50, random.Random(0))
+        assert len(sample) == 50
+        assert len({p.items for p in sample}) == 50
+        assert all(p.size == 20 for p in sample)
+        assert all(p.support == 20 for p in sample)
+
+    def test_too_many_requested(self):
+        with pytest.raises(ValueError):
+            sample_complete_maximal(5, 3, 100, random.Random(0))
+
+    def test_infeasible_minsup(self):
+        with pytest.raises(ValueError):
+            sample_complete_maximal(5, 5, 1, random.Random(0))
+
+
+class TestReplaceLike:
+    @pytest.fixture(scope="class")
+    def dataset(self):
+        return replace_like()
+
+    def test_paper_scale(self, dataset):
+        db, truth = dataset
+        assert db.n_transactions == 4395
+        assert db.n_items == 57
+        assert truth.minsup_absolute == 132
+
+    def test_three_colossal_size_44(self, dataset):
+        db, truth = dataset
+        assert len(truth.colossal) == 3
+        assert all(len(c) == 44 for c in truth.colossal)
+        assert all(s >= truth.minsup_absolute for s in truth.colossal_supports)
+        for c in truth.colossal:
+            assert db.is_closed(c)
+
+    def test_no_frequent_pattern_larger_than_44(self, dataset):
+        db, truth = dataset
+        # Transactions are at most 44 items, so nothing larger can exist.
+        assert max(len(t) for t in db.transactions) == 44
+
+    def test_deterministic(self):
+        a, _ = replace_like(n_transactions=2200, seed=3)
+        b, _ = replace_like(n_transactions=2200, seed=3)
+        assert a.transactions == b.transactions
+
+    def test_seed_changes_data(self):
+        a, _ = replace_like(n_transactions=2200, seed=3)
+        b, _ = replace_like(n_transactions=2200, seed=4)
+        assert a.transactions != b.transactions
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            replace_like(n_transactions=100)
+
+
+class TestAllLike:
+    @pytest.fixture(scope="class")
+    def dataset(self):
+        return all_like()
+
+    def test_paper_scale(self, dataset):
+        db, _ = dataset
+        assert db.n_transactions == ALL_N_ROWS == 38
+        assert db.n_items == ALL_N_ITEMS == 1736
+        assert all(len(t) == ALL_ROW_WIDTH == 866 for t in db.transactions)
+
+    def test_planted_sizes_match_paper(self, dataset):
+        _, truth = dataset
+        sizes = sorted((len(c) for c in truth.colossal), reverse=True)
+        assert sizes == sorted(PAPER_COLOSSAL_SIZES, reverse=True)
+
+    def test_closed_set_is_exactly_the_planted_patterns(self, dataset):
+        """The generator's central guarantee: at support 30 the complete
+        closed set equals the 22 planted paper-sized patterns."""
+        db, truth = dataset
+        complete = closed_patterns(db, ALL_MINSUP_ABSOLUTE)
+        assert complete.itemsets() == set(truth.colossal)
+
+    def test_supports_in_design_band(self, dataset):
+        _, truth = dataset
+        assert set(truth.colossal_supports) <= {30, 31, 32, 33}
+
+    def test_chains_are_nested(self, dataset):
+        _, truth = dataset
+        for chain in truth.chains:
+            for bigger, smaller in zip(chain, chain[1:]):
+                assert smaller < bigger
+
+    def test_deterministic(self):
+        a, _ = all_like(seed=5)
+        b, _ = all_like(seed=5)
+        assert a.transactions == b.transactions
+
+    def test_explosion_block_below_threshold(self, dataset):
+        """No noise item may reach support 30 (closure-contamination guard)."""
+        db, truth = dataset
+        planted = set().union(*truth.colossal)
+        for item in range(db.n_items):
+            if item not in planted:
+                assert db.item_tidset(item).bit_count() < 30
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            all_like(explosion_items=40)
+
+
+class TestSyntheticGenerators:
+    def test_quest_dimensions(self):
+        db = quest_like(n_transactions=50, n_items=20, seed=1)
+        assert db.n_transactions == 50
+        assert db.n_items == 20
+        assert all(len(t) >= 1 for t in db.transactions)
+
+    def test_quest_deterministic(self):
+        a = quest_like(seed=2)
+        b = quest_like(seed=2)
+        assert a.transactions == b.transactions
+
+    def test_quest_validation(self):
+        with pytest.raises(ValueError):
+            quest_like(corruption=1.0)
+        with pytest.raises(ValueError):
+            quest_like(n_patterns=0)
+
+    def test_random_database_density(self):
+        db = random_database(200, 50, density=0.3, seed=0)
+        total = sum(len(t) for t in db.transactions)
+        assert 0.25 < total / (200 * 50) < 0.35
+
+    def test_random_database_validation(self):
+        with pytest.raises(ValueError):
+            random_database(10, 10, density=1.5)

@@ -1,0 +1,89 @@
+"""Unit and property tests for repro.core.distance (Def. 6, Thm. 1, Thm. 2)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.distance import ball, ball_radius, pattern_distance, tidset_distance
+from repro.mining.results import Pattern
+
+tidsets = st.integers(min_value=0, max_value=2**24 - 1)
+
+
+def pat(items, tidset):
+    return Pattern(items=frozenset(items), tidset=tidset)
+
+
+class TestTidsetDistance:
+    def test_identical(self):
+        assert tidset_distance(0b1010, 0b1010) == 0.0
+
+    def test_disjoint(self):
+        assert tidset_distance(0b0011, 0b1100) == 1.0
+
+    def test_half_overlap(self):
+        # |∩| = 1, |∪| = 3 -> 1 - 1/3
+        assert tidset_distance(0b011, 0b110) == pytest.approx(2 / 3)
+
+    def test_both_empty(self):
+        assert tidset_distance(0, 0) == 0.0
+
+    @given(tidsets, tidsets)
+    def test_symmetry(self, a, b):
+        assert tidset_distance(a, b) == tidset_distance(b, a)
+
+    @given(tidsets, tidsets)
+    def test_range(self, a, b):
+        assert 0.0 <= tidset_distance(a, b) <= 1.0
+
+    @given(tidsets)
+    def test_identity(self, a):
+        assert tidset_distance(a, a) == 0.0
+
+    @given(tidsets, tidsets, tidsets)
+    @settings(max_examples=300)
+    def test_triangle_inequality(self, a, b, c):
+        """Theorem 1: Dist is a metric (Jaccard distance on support sets)."""
+        ab = tidset_distance(a, b)
+        bc = tidset_distance(b, c)
+        ac = tidset_distance(a, c)
+        assert ac <= ab + bc + 1e-12
+
+
+class TestPatternDistance:
+    def test_uses_support_sets_not_items(self):
+        # Different itemsets, same supporters: distance 0 (Def. 6).
+        assert pattern_distance(pat([1], 0b11), pat([2, 3], 0b11)) == 0.0
+
+
+class TestBallRadius:
+    def test_paper_values(self):
+        # r(tau) = 1 - 1/(2/tau - 1)
+        assert ball_radius(1.0) == pytest.approx(0.0)
+        assert ball_radius(0.5) == pytest.approx(2 / 3)
+        assert ball_radius(0.9) == pytest.approx(1 - 1 / (2 / 0.9 - 1))
+
+    def test_monotone_decreasing_in_tau(self):
+        radii = [ball_radius(t / 100) for t in range(1, 101)]
+        assert all(a >= b for a, b in zip(radii, radii[1:]))
+
+    @pytest.mark.parametrize("bad", [0.0, -0.1, 1.5])
+    def test_invalid_tau(self, bad):
+        with pytest.raises(ValueError):
+            ball_radius(bad)
+
+
+class TestBall:
+    def test_inclusive_and_contains_center(self):
+        center = pat([0], 0b1111)
+        near = pat([1], 0b1110)  # distance 0.25
+        far = pat([2], 0b0001)   # distance 0.75
+        pool = [center, near, far]
+        got = ball(center, pool, radius=0.25)
+        assert got == [center, near]
+
+    def test_zero_radius(self):
+        center = pat([0], 0b11)
+        twin = pat([5], 0b11)
+        pool = [center, twin, pat([1], 0b01)]
+        assert ball(center, pool, 0.0) == [center, twin]

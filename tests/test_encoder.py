@@ -1,0 +1,53 @@
+"""Unit tests for repro.db.encoder."""
+
+import pytest
+
+from repro.db import ItemEncoder
+
+
+class TestEncodeDecode:
+    def test_first_seen_order(self):
+        encoder = ItemEncoder()
+        assert encoder.encode_item("b") == 0
+        assert encoder.encode_item("a") == 1
+        assert encoder.encode_item("b") == 0  # stable on repeat
+
+    def test_constructor_seeding(self):
+        encoder = ItemEncoder(["x", "y"])
+        assert encoder.id_of("x") == 0
+        assert encoder.id_of("y") == 1
+
+    def test_encode_set_roundtrip(self):
+        encoder = ItemEncoder()
+        ids = encoder.encode(["gene_a", "gene_b", "gene_c"])
+        assert encoder.decode(ids) == frozenset(["gene_a", "gene_b", "gene_c"])
+
+    def test_decode_unknown_id(self):
+        encoder = ItemEncoder(["only"])
+        with pytest.raises(KeyError):
+            encoder.decode_item(5)
+
+    def test_id_of_unknown_label(self):
+        encoder = ItemEncoder()
+        with pytest.raises(KeyError):
+            encoder.id_of("never-seen")
+
+    def test_len_contains_labels(self):
+        encoder = ItemEncoder(["p", "q"])
+        assert len(encoder) == 2
+        assert "p" in encoder
+        assert "z" not in encoder
+        assert encoder.labels == ("p", "q")
+
+    def test_mixed_hashable_labels(self):
+        encoder = ItemEncoder()
+        a = encoder.encode_item(("tuple", 1))
+        b = encoder.encode_item(99)
+        assert encoder.decode_item(a) == ("tuple", 1)
+        assert encoder.decode_item(b) == 99
+
+    def test_append_only_ids_stable(self):
+        encoder = ItemEncoder(["a"])
+        before = encoder.id_of("a")
+        encoder.encode(["b", "c", "d"])
+        assert encoder.id_of("a") == before

@@ -1,0 +1,179 @@
+"""Tests for the quality-evaluation model (Definitions 8–10, Example 1)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.evaluation import (
+    approximate,
+    approximation_error,
+    coverage_radius,
+    edit_distance,
+    format_recovery_table,
+    greedy_k_center,
+    pattern_edit_distance,
+    recovery_by_size,
+    summarize_approximation,
+    uniform_sample,
+)
+from repro.mining.results import Pattern
+
+itemsets = st.sets(st.integers(min_value=0, max_value=15), max_size=8).map(frozenset)
+
+
+def pat(items):
+    return Pattern(items=frozenset(items), tidset=0)
+
+
+class TestEditDistance:
+    def test_paper_example(self):
+        """Edit((abcd), (acde)) = 2."""
+        assert edit_distance({0, 1, 2, 3}, {0, 2, 3, 4}) == 2
+
+    def test_identical(self):
+        assert edit_distance({1, 2}, {1, 2}) == 0
+
+    def test_disjoint(self):
+        assert edit_distance({1}, {2, 3}) == 3
+
+    def test_on_patterns(self):
+        assert pattern_edit_distance(pat([1, 2]), pat([2, 3])) == 2
+
+    @given(itemsets, itemsets)
+    def test_symmetry(self, a, b):
+        assert edit_distance(a, b) == edit_distance(b, a)
+
+    @given(itemsets, itemsets)
+    def test_identity_of_indiscernibles(self, a, b):
+        assert (edit_distance(a, b) == 0) == (a == b)
+
+    @given(itemsets, itemsets, itemsets)
+    @settings(max_examples=200)
+    def test_triangle_inequality(self, a, b, c):
+        assert edit_distance(a, c) <= edit_distance(a, b) + edit_distance(b, c)
+
+
+class TestApproximation:
+    def _example1(self):
+        """Figure 5 / Example 1: P = {abcde, xyz}, Q = the seven patterns."""
+        a, b, c, d, e, f = 0, 1, 2, 3, 4, 5
+        x, y, z = 6, 7, 8
+        q1 = pat([a, b, c, d, f])
+        q2 = pat([a, c, d, e])
+        q3 = pat([a, b, c, d])
+        q4 = pat([a, b, c, d, e])  # = P1
+        q5 = pat([x, y])
+        q6 = pat([x, y, z])        # = P2
+        q7 = pat([y, z])
+        return [q4, q6], [q1, q2, q3, q4, q5, q6, q7]
+
+    def test_paper_example1_error(self):
+        """Δ(AP_Q) = (2/5 + 1/3)/2 = 11/30 ≈ 0.37."""
+        mined, complete = self._example1()
+        assert approximation_error(mined, complete) == pytest.approx(11 / 30)
+
+    def test_paper_example1_clusters(self):
+        mined, complete = self._example1()
+        approximation = approximate(mined, complete)
+        by_center = {c.center.items: c for c in approximation.clusters}
+        p1 = by_center[mined[0].items]
+        p2 = by_center[mined[1].items]
+        assert len(p1.members) == 4 and p1.max_edit == 2
+        assert len(p2.members) == 3 and p2.max_edit == 1
+        assert approximation.worst_cluster() is p1
+
+    def test_zero_error_when_p_equals_q(self):
+        patterns = [pat([1, 2]), pat([3, 4, 5])]
+        assert approximation_error(patterns, patterns) == 0.0
+
+    def test_empty_q_gives_zero(self):
+        assert approximation_error([pat([1])], []) == 0.0
+
+    def test_empty_p_rejected(self):
+        with pytest.raises(ValueError):
+            approximate([], [pat([1])])
+
+    def test_empty_center_rejected(self):
+        with pytest.raises(ValueError):
+            approximate([pat([])], [pat([1])])
+
+    def test_empty_clusters_count_in_mean(self):
+        # One perfect center plus one useless far center halves the error.
+        q = [pat([1, 2, 3, 4])]
+        err_one = approximation_error([pat([1, 2, 3])], q)
+        err_two = approximation_error([pat([1, 2, 3]), pat([9, 10, 11])], q)
+        assert err_two == pytest.approx(err_one / 2)
+
+    @given(st.lists(itemsets.filter(bool), min_size=1, max_size=6, unique=True),
+           st.lists(itemsets, max_size=10))
+    @settings(max_examples=80)
+    def test_error_nonnegative_and_superset_p_never_worse(self, p_items, q_items):
+        mined = [pat(i) for i in p_items]
+        complete = [pat(i) for i in q_items]
+        error = approximation_error(mined, complete)
+        assert error >= 0.0
+
+
+class TestSampling:
+    def test_exact_population(self):
+        population = [pat([i]) for i in range(5)]
+        assert uniform_sample(population, 10) == population
+
+    def test_sample_size_and_membership(self):
+        population = [pat([i]) for i in range(20)]
+        sample = uniform_sample(population, 7, random.Random(0))
+        assert len(sample) == 7
+        assert all(p in population for p in sample)
+
+    def test_negative_k_rejected(self):
+        with pytest.raises(ValueError):
+            uniform_sample([], -1)
+
+
+class TestKCenter:
+    def test_covers_population(self):
+        population = [pat([i, i + 1]) for i in range(0, 20, 2)]
+        centers = greedy_k_center(population, 3, random.Random(0))
+        assert len(centers) == 3
+        assert coverage_radius(centers, population) <= coverage_radius(
+            centers[:1], population
+        )
+
+    def test_k_exceeds_population(self):
+        population = [pat([1]), pat([2])]
+        assert greedy_k_center(population, 10) == population
+
+    def test_kcenter_beats_random_on_clustered_data(self):
+        rng = random.Random(1)
+        clusters = []
+        for base in (0, 100, 200, 300):
+            clusters += [pat({base + j for j in range(5)} - {base + i})
+                         for i in range(5)]
+        centers = greedy_k_center(clusters, 4, random.Random(2))
+        assert coverage_radius(centers, clusters) <= 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            greedy_k_center([pat([1])], 0)
+        with pytest.raises(ValueError):
+            coverage_radius([], [pat([1])])
+
+
+class TestReport:
+    def test_recovery_by_size(self):
+        mined = [pat([1, 2, 3]), pat([4])]
+        complete = [pat([1, 2, 3]), pat([5, 6, 7]), pat([4])]
+        table = recovery_by_size(mined, complete)
+        assert table == {3: (2, 1), 1: (1, 1)}
+
+    def test_format_recovery_table(self):
+        text = format_recovery_table({44: (3, 3), 39: (10, 7)})
+        assert "44" in text and "Pattern-Fusion" in text
+        assert text.splitlines()[2].strip().startswith("44")
+
+    def test_summarize_mentions_error(self):
+        mined = [pat([1, 2, 3, 4])]
+        summary = summarize_approximation(approximate(mined, mined))
+        assert "delta(AP_Q) = 0.0000" in summary

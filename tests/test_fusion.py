@@ -1,0 +1,163 @@
+"""Unit tests for the fusion operator (repro.core.fusion)."""
+
+import random
+
+import pytest
+
+from repro.core.fusion import (
+    FusionCandidate,
+    fuse_ball,
+    weighted_sample_without_replacement,
+)
+from repro.db import TransactionDatabase
+from repro.mining.results import Pattern, make_pattern
+
+
+@pytest.fixture
+def block_db():
+    """Two disjoint blocks: {0..4} in rows 0-9, {5..9} in rows 10-14."""
+    rows = [[0, 1, 2, 3, 4]] * 10 + [[5, 6, 7, 8, 9]] * 5
+    return TransactionDatabase(rows, n_items=10)
+
+
+def pool_of_pairs(db, items):
+    from itertools import combinations
+
+    return [make_pattern(db, pair) for pair in combinations(items, 2)]
+
+
+class TestFuseBall:
+    def test_fuses_block_in_one_step(self, block_db):
+        pool = pool_of_pairs(block_db, range(5))
+        seed = pool[0]
+        fused = fuse_ball(
+            block_db, seed, pool, tau=0.5, minsup=5,
+            rng=random.Random(0), trials=4, max_candidates=5, close_fused=True,
+        )
+        assert any(p.items == frozenset(range(5)) for p in fused)
+
+    def test_respects_minsup(self, block_db):
+        # Members from both blocks: their union has support 0 < minsup.
+        pool = pool_of_pairs(block_db, range(5)) + pool_of_pairs(block_db, range(5, 10))
+        seed = pool[0]
+        fused = fuse_ball(
+            block_db, seed, pool, tau=0.1, minsup=3,
+            rng=random.Random(1), trials=6, max_candidates=10, close_fused=True,
+        )
+        for p in fused:
+            assert p.support >= 3
+            assert p.items <= frozenset(range(5))  # never crossed blocks
+
+    def test_core_condition_binds(self, block_db):
+        """With τ = 1 the fused pattern must keep every member's support."""
+        pool = pool_of_pairs(block_db, range(5))
+        low = make_pattern(block_db, [0, 5])  # support 0 — not in pool
+        assert low.support == 0
+        seed = pool[0]
+        fused = fuse_ball(
+            block_db, seed, pool, tau=1.0, minsup=1,
+            rng=random.Random(2), trials=4, max_candidates=5, close_fused=False,
+        )
+        for p in fused:
+            assert p.support == seed.support
+
+    def test_result_contains_seed_items(self, block_db):
+        pool = pool_of_pairs(block_db, range(5))
+        seed = pool[3]
+        fused = fuse_ball(
+            block_db, seed, pool, tau=0.5, minsup=1,
+            rng=random.Random(3), trials=2, max_candidates=5, close_fused=False,
+        )
+        for p in fused:
+            assert seed.items <= p.items
+
+    def test_closure_flag(self, block_db):
+        # Without closure the fused pattern is the literal union; with
+        # closure it extends to the whole block (same tidset).
+        seed = make_pattern(block_db, [0, 1])
+        fused_open = fuse_ball(
+            block_db, seed, [seed], tau=0.5, minsup=1,
+            rng=random.Random(4), trials=1, max_candidates=5, close_fused=False,
+        )
+        fused_closed = fuse_ball(
+            block_db, seed, [seed], tau=0.5, minsup=1,
+            rng=random.Random(4), trials=1, max_candidates=5, close_fused=True,
+        )
+        assert fused_open[0].items == frozenset([0, 1])
+        assert fused_closed[0].items == frozenset(range(5))
+        assert fused_open[0].tidset == fused_closed[0].tidset
+
+    def test_max_candidates_cap(self, block_db):
+        pool = pool_of_pairs(block_db, range(5))
+        seed = pool[0]
+        fused = fuse_ball(
+            block_db, seed, pool, tau=0.5, minsup=1,
+            rng=random.Random(5), trials=16, max_candidates=2, close_fused=False,
+        )
+        assert len(fused) <= 2
+
+    def test_deterministic_given_rng(self, block_db):
+        pool = pool_of_pairs(block_db, range(5))
+        seed = pool[0]
+        runs = [
+            tuple(
+                sorted(
+                    p.sorted_items()
+                    for p in fuse_ball(
+                        block_db, seed, pool, tau=0.5, minsup=1,
+                        rng=random.Random(99), trials=4, max_candidates=5,
+                        close_fused=True,
+                    )
+                )
+            )
+            for _ in range(2)
+        ]
+        assert runs[0] == runs[1]
+
+
+class TestWeightedSampling:
+    def _candidates(self, weights):
+        return [
+            FusionCandidate(
+                pattern=Pattern(items=frozenset([i]), tidset=1), n_fused=w
+            )
+            for i, w in enumerate(weights)
+        ]
+
+    def test_returns_all_when_k_large(self):
+        candidates = self._candidates([1, 2, 3])
+        got = weighted_sample_without_replacement(
+            candidates, [1, 2, 3], k=5, rng=random.Random(0)
+        )
+        assert got == candidates
+
+    def test_sample_size(self):
+        candidates = self._candidates([1] * 10)
+        got = weighted_sample_without_replacement(
+            candidates, [1.0] * 10, k=4, rng=random.Random(0)
+        )
+        assert len(got) == 4
+        assert len({id(c) for c in got}) == 4  # without replacement
+
+    def test_weights_bias_selection(self):
+        candidates = self._candidates([1, 1000])
+        hits = 0
+        for trial in range(200):
+            got = weighted_sample_without_replacement(
+                candidates, [1.0, 1000.0], k=1, rng=random.Random(trial)
+            )
+            hits += got[0] is candidates[1]
+        assert hits > 180  # heavy candidate wins almost always
+
+    def test_validation(self):
+        candidates = self._candidates([1, 2])
+        with pytest.raises(ValueError):
+            weighted_sample_without_replacement(candidates, [1.0], 1, random.Random(0))
+        with pytest.raises(ValueError):
+            weighted_sample_without_replacement(
+                candidates, [1.0, 0.0], 1, random.Random(0)
+            )
+        with pytest.raises(ValueError):
+            weighted_sample_without_replacement(
+                candidates, [1.0, 1.0], -1, random.Random(0)
+            )

@@ -1,0 +1,128 @@
+"""End-to-end integration tests across module boundaries.
+
+Each test walks a full user journey: generate or load data, mine with a
+baseline, run Pattern-Fusion, evaluate the result under the Section 5 model.
+"""
+
+import random
+
+import pytest
+
+from repro import (
+    PatternFusionConfig,
+    TransactionDatabase,
+    approximation_error,
+    closed_patterns,
+    pattern_fusion,
+)
+from repro.datasets import all_like, diag_plus, quest_like, replace_like
+from repro.db import parse_fimi, format_fimi
+from repro.evaluation import greedy_k_center, recovery_by_size, uniform_sample
+from repro.mining import maximal_patterns, mine_up_to_size, top_k_closed
+
+
+class TestQuestJourney:
+    def test_mine_fuse_evaluate(self):
+        db = quest_like(n_transactions=150, n_items=30, n_patterns=6, seed=9)
+        minsup = 12
+        complete = closed_patterns(db, minsup)
+        assert len(complete) > 0
+        fused = pattern_fusion(
+            db, minsup, PatternFusionConfig(k=15, seed=0)
+        )
+        error = approximation_error(fused.patterns, complete.largest(15))
+        # Mined patterns approximate the top of the closed set.
+        assert error < 1.0
+        # And every fused pattern is a real closed frequent pattern.
+        complete_itemsets = complete.itemsets()
+        for p in fused.patterns:
+            assert p.items in complete_itemsets
+
+    def test_roundtrip_through_fimi(self):
+        db = quest_like(n_transactions=80, n_items=20, seed=3)
+        db2 = parse_fimi(format_fimi(db), n_items=db.n_items)
+        a = closed_patterns(db, 8)
+        b = closed_patterns(db2, 8)
+        assert a.itemsets() == b.itemsets()
+
+
+class TestDiagPlusJourney:
+    def test_complete_miner_drowns_fusion_does_not(self):
+        db = diag_plus(n=26, extra_rows=13, extra_width=30)
+        minsup = 13
+        # The complete miner must be cut off by its budget...
+        with pytest.raises(TimeoutError):
+            maximal_patterns(db, minsup, max_seconds=0.2)
+        # ...while Pattern-Fusion returns the colossal block.
+        result = pattern_fusion(
+            db, minsup,
+            PatternFusionConfig(k=10, initial_pool_max_size=2, seed=1),
+        )
+        assert result.largest(1)[0].items == frozenset(range(26, 56))
+
+
+class TestReplaceJourney:
+    def test_colossal_recovery_and_quality(self):
+        db, truth = replace_like(n_transactions=2200, seed=5)
+        complete = closed_patterns(db, truth.minsup_absolute)
+        result = pattern_fusion(
+            db,
+            truth.minsup_absolute,
+            PatternFusionConfig(k=60, initial_pool_max_size=2, seed=2),
+        )
+        mined = {p.items for p in result.patterns}
+        for colossal in truth.colossal:
+            assert colossal in mined
+        reference = complete.of_size_at_least(40)
+        assert approximation_error(result.patterns, reference) < 0.05
+
+
+class TestAllJourney:
+    def test_fig9_style_recovery(self):
+        db, truth = all_like(seed=11)
+        result = pattern_fusion(
+            db, 30,
+            PatternFusionConfig(
+                k=100, tau=0.95, initial_pool_max_size=2, seed=3
+            ),
+        )
+        complete = closed_patterns(db, 30)
+        table = recovery_by_size(result.patterns, complete.patterns)
+        # The single largest (size 110) is recovered.
+        assert table[110] == (1, 1)
+        total_found = sum(hit for _, hit in table.values())
+        assert total_found >= 10  # paper recovered 16 of 22
+
+    def test_topk_against_fusion_targets(self):
+        db, truth = all_like(seed=11)
+        topk = top_k_closed(db, k=5, min_size=80, initial_minsup=30)
+        assert all(p.size >= 80 for p in topk.patterns)
+        assert {p.items for p in topk.patterns} <= set(truth.colossal)
+
+
+class TestEvaluationBaselines:
+    def test_kcenter_vs_uniform_on_closed_set(self):
+        db = quest_like(n_transactions=150, n_items=30, n_patterns=6, seed=13)
+        complete = closed_patterns(db, 12).patterns
+        if len(complete) < 12:
+            pytest.skip("degenerate draw")
+        rng = random.Random(0)
+        centers = greedy_k_center(complete, 8, rng)
+        sampled = uniform_sample(complete, 8, rng)
+        err_centers = approximation_error(centers, complete)
+        err_sampled = approximation_error(sampled, complete)
+        # The informed offline baseline should not be (much) worse.
+        assert err_centers <= err_sampled + 0.25
+
+
+class TestInitialPoolContract:
+    def test_pool_is_complete_prefix_of_lattice(self):
+        db = quest_like(n_transactions=100, n_items=18, seed=21)
+        pool = mine_up_to_size(db, 10, 2)
+        # Every frequent 1- and 2-itemset is present — nothing skipped.
+        for p in pool.patterns:
+            assert db.support(p.items) >= 10
+        singles = {p.items for p in pool.patterns if p.size == 1}
+        assert singles == {
+            frozenset([i]) for i in db.frequent_items(10)
+        }

@@ -1,0 +1,87 @@
+"""Tests for FIMI IO and database statistics."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.db import (
+    TransactionDatabase,
+    describe,
+    format_fimi,
+    parse_fimi,
+    read_fimi,
+    write_fimi,
+)
+
+
+class TestParse:
+    def test_basic(self):
+        db = parse_fimi("1 2 3\n2 3\n")
+        assert db.n_transactions == 2
+        assert db.transaction(0) == frozenset([1, 2, 3])
+
+    def test_blank_line_is_empty_transaction(self):
+        db = parse_fimi("1 2\n\n3\n")
+        assert db.n_transactions == 3
+        assert db.transaction(1) == frozenset()
+
+    def test_whitespace_tolerance(self):
+        db = parse_fimi("  1\t2   \n")
+        assert db.transaction(0) == frozenset([1, 2])
+
+    def test_non_integer_rejected_with_line_number(self):
+        with pytest.raises(ValueError, match="line 2"):
+            parse_fimi("1 2\n3 x\n")
+
+    def test_explicit_universe(self):
+        db = parse_fimi("0 1\n", n_items=10)
+        assert db.n_items == 10
+
+    def test_empty_text(self):
+        db = parse_fimi("")
+        assert db.n_transactions == 0
+
+
+class TestRoundtrip:
+    @given(
+        st.lists(
+            st.sets(st.integers(min_value=0, max_value=30), max_size=8),
+            max_size=10,
+        )
+    )
+    @settings(max_examples=50)
+    def test_format_parse_identity(self, rows):
+        db = TransactionDatabase(rows, n_items=31)
+        back = parse_fimi(format_fimi(db), n_items=31)
+        assert back.transactions == db.transactions
+
+    def test_file_roundtrip(self, tmp_path):
+        db = TransactionDatabase([[3, 1], [2]], n_items=4)
+        path = tmp_path / "db.dat"
+        write_fimi(db, path)
+        assert path.read_text() == "1 3\n2\n"
+        assert read_fimi(path).transactions == db.transactions
+
+
+class TestStats:
+    def test_describe_tiny(self, tiny_db):
+        stats = describe(tiny_db)
+        assert stats.n_transactions == 5
+        assert stats.n_items == 6
+        assert stats.n_distinct_items_used == 6
+        assert stats.min_transaction_length == 2
+        assert stats.max_transaction_length == 4
+        assert stats.mean_transaction_length == pytest.approx(15 / 5)
+        assert stats.density == pytest.approx(15 / 30)
+
+    def test_describe_empty(self):
+        stats = describe(TransactionDatabase([], n_items=3))
+        assert stats.n_transactions == 0
+        assert stats.mean_transaction_length == 0.0
+        assert stats.density == 0.0
+
+    def test_rows_and_str(self, tiny_db):
+        stats = describe(tiny_db)
+        labels = [label for label, _ in stats.as_rows()]
+        assert "transactions" in labels and "density" in labels
+        assert "transactions=5" in str(stats)

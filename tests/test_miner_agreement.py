@@ -1,0 +1,106 @@
+"""Cross-miner agreement: the strongest correctness evidence in the suite.
+
+Five independently implemented miners (Apriori, Eclat, FP-growth, LCM-style
+closed, CARPENTER row-enumeration) and the derived ones (maximal, top-k) are
+checked against each other on random databases.  Any bug that breaks one
+traversal but not another is caught here.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.db import TransactionDatabase
+from repro.mining import (
+    apriori,
+    carpenter_closed_patterns,
+    closed_patterns,
+    eclat,
+    fpgrowth,
+    maximal_patterns,
+    top_k_closed,
+)
+
+databases = st.lists(
+    st.lists(st.integers(min_value=0, max_value=7), max_size=6),
+    min_size=1,
+    max_size=12,
+).map(lambda rows: TransactionDatabase(rows, n_items=8))
+
+minsups = st.integers(min_value=1, max_value=4)
+
+
+@given(databases, minsups)
+@settings(max_examples=60, deadline=None)
+def test_complete_miners_agree(db, minsup):
+    """Apriori ≡ Eclat ≡ FP-growth, itemset for itemset, support for support."""
+    a = apriori(db, minsup).support_map()
+    e = eclat(db, minsup).support_map()
+    f = fpgrowth(db, minsup).support_map()
+    assert a == e == f
+
+
+@given(databases, minsups)
+@settings(max_examples=60, deadline=None)
+def test_closed_is_closure_image_of_frequent(db, minsup):
+    """Closed set == {closure(α) : α frequent}, with supports preserved."""
+    frequent = apriori(db, minsup)
+    expected = {db.closure(p.items) for p in frequent.patterns}
+    closed = closed_patterns(db, minsup)
+    assert closed.itemsets() == expected
+    for p in closed.patterns:
+        assert p.support == db.support(p.items)
+
+
+@given(databases, minsups)
+@settings(max_examples=60, deadline=None)
+def test_carpenter_agrees_with_closed(db, minsup):
+    """Row enumeration and item enumeration land on the same closed set."""
+    assert (
+        carpenter_closed_patterns(db, minsup).itemsets()
+        == closed_patterns(db, minsup).itemsets()
+    )
+
+
+@given(databases, minsups)
+@settings(max_examples=60, deadline=None)
+def test_maximal_is_maximal_frequent(db, minsup):
+    """Maximal set == frequent itemsets with no frequent proper superset."""
+    frequent = apriori(db, minsup).itemsets()
+    expected = {
+        items
+        for items in frequent
+        if not any(items < other for other in frequent)
+    }
+    assert maximal_patterns(db, minsup).itemsets() == expected
+
+
+@given(databases, minsups)
+@settings(max_examples=40, deadline=None)
+def test_containment_chain(db, minsup):
+    """maximal ⊆ closed ⊆ frequent."""
+    frequent = apriori(db, minsup).itemsets()
+    closed = closed_patterns(db, minsup).itemsets()
+    maximal = maximal_patterns(db, minsup).itemsets()
+    assert maximal <= closed <= frequent
+
+
+@given(databases, st.integers(min_value=1, max_value=10))
+@settings(max_examples=40, deadline=None)
+def test_topk_matches_sorted_closed(db, k):
+    """Top-k == the k highest supports among all closed patterns."""
+    result = top_k_closed(db, k)
+    reference = sorted(
+        (p.support for p in closed_patterns(db, 1).patterns), reverse=True
+    )
+    assert [p.support for p in result.patterns] == reference[:k]
+
+
+@given(databases, minsups)
+@settings(max_examples=40, deadline=None)
+def test_closed_set_determines_all_supports(db, minsup):
+    """Any frequent itemset's support equals its smallest closed superset's."""
+    closed = closed_patterns(db, minsup).patterns
+    for p in apriori(db, minsup).patterns:
+        covers = [c.support for c in closed if p.items <= c.items]
+        assert covers, f"no closed superset for {p}"
+        assert max(covers) == p.support

@@ -1,0 +1,89 @@
+"""Unit tests for repro.mining.results."""
+
+import pytest
+
+from repro.db import TransactionDatabase
+from repro.mining.results import (
+    MiningResult,
+    Pattern,
+    make_pattern,
+    patterns_equal_as_sets,
+)
+
+
+def pattern(items, tidset):
+    return Pattern(items=frozenset(items), tidset=tidset)
+
+
+class TestPattern:
+    def test_support_is_popcount(self):
+        assert pattern([1], 0b1011).support == 3
+
+    def test_size(self):
+        assert pattern([1, 4, 9], 0b1).size == 3
+
+    def test_relative_support(self):
+        assert pattern([0], 0b11).relative_support(4) == pytest.approx(0.5)
+        with pytest.raises(ValueError):
+            pattern([0], 0b11).relative_support(0)
+
+    def test_equality_ignores_tidset(self):
+        assert pattern([1, 2], 0b1) == pattern([1, 2], 0b111)
+        assert hash(pattern([1, 2], 0b1)) == hash(pattern([1, 2], 0b111))
+
+    def test_subpattern(self):
+        assert pattern([1], 0).is_subpattern_of(pattern([1, 2], 0))
+        assert not pattern([3], 0).is_subpattern_of(pattern([1, 2], 0))
+
+    def test_str_sorted(self):
+        assert str(pattern([2, 0], 0b101)) == "{0,2}#2"
+
+    def test_make_pattern_computes_tidset(self, tiny_db):
+        p = make_pattern(tiny_db, [0, 1])
+        assert p.support == tiny_db.support([0, 1])
+
+
+class TestMiningResult:
+    @pytest.fixture
+    def result(self):
+        return MiningResult(
+            algorithm="test",
+            minsup=2,
+            patterns=[
+                pattern([0], 0b111),
+                pattern([0, 1], 0b011),
+                pattern([2, 3, 4], 0b001),
+                pattern([5, 6, 7], 0b011),
+            ],
+        )
+
+    def test_len_iter(self, result):
+        assert len(result) == 4
+        assert sum(1 for _ in result) == 4
+
+    def test_itemsets_and_support_map(self, result):
+        assert frozenset([0, 1]) in result.itemsets()
+        assert result.support_map()[frozenset([0])] == 3
+
+    def test_of_size_at_least(self, result):
+        assert len(result.of_size_at_least(3)) == 2
+        assert len(result.of_size_at_least(4)) == 0
+
+    def test_size_histogram_descending(self, result):
+        assert result.size_histogram() == {3: 2, 2: 1, 1: 1}
+        assert list(result.size_histogram()) == [3, 2, 1]
+
+    def test_largest_tiebreak_by_support(self, result):
+        top = result.largest(1)[0]
+        assert top.items == frozenset([5, 6, 7])  # size 3, support 2 beats 1
+
+    def test_largest_k_exceeds(self, result):
+        assert len(result.largest(10)) == 4
+
+
+class TestHelpers:
+    def test_patterns_equal_as_sets(self):
+        a = [pattern([1], 0b1), pattern([2], 0b1)]
+        b = [pattern([2], 0b11), pattern([1], 0b111)]
+        assert patterns_equal_as_sets(a, b)
+        assert not patterns_equal_as_sets(a, b[:1])
