@@ -26,6 +26,13 @@ from repro.core import (
     pattern_fusion,
 )
 from repro.db import TransactionDatabase
+from repro.engine import (
+    ParallelExecutor,
+    SerialExecutor,
+    ShardedDatabase,
+    make_executor,
+    parallel_pattern_fusion,
+)
 from repro.evaluation import approximate, approximation_error, edit_distance
 from repro.mining import (
     MiningResult,
@@ -51,6 +58,11 @@ __all__ = [
     "PatternFusionResult",
     "pattern_distance",
     "ball_radius",
+    "ShardedDatabase",
+    "SerialExecutor",
+    "ParallelExecutor",
+    "make_executor",
+    "parallel_pattern_fusion",
     "edit_distance",
     "approximate",
     "approximation_error",

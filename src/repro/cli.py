@@ -24,6 +24,7 @@ from pathlib import Path
 from repro.core import PatternFusionConfig, pattern_fusion
 from repro.datasets import all_like, diag, diag_plus, quest_like, replace_like
 from repro.db import TransactionDatabase, describe, read_fimi, write_fimi
+from repro.engine import PARTITIONERS, ShardedDatabase, make_executor
 from repro.evaluation import approximate, summarize_approximation
 from repro.mining import (
     apriori,
@@ -81,6 +82,12 @@ def build_parser() -> argparse.ArgumentParser:
                       help="min pattern size for topk; max size for pool")
     mine.add_argument("--limit", type=int, default=20,
                       help="print at most this many patterns")
+    _add_engine_args(
+        mine,
+        jobs_help="worker processes for the sharded support audit "
+                  "(mining itself is serial; implies --shards N when "
+                  "--shards is not given)",
+    )
 
     fuse = sub.add_parser("fuse", help="run Pattern-Fusion")
     _add_dataset_args(fuse)
@@ -91,6 +98,7 @@ def build_parser() -> argparse.ArgumentParser:
                       help="initial pool max pattern size")
     fuse.add_argument("--seed", type=int, default=0)
     fuse.add_argument("--limit", type=int, default=20)
+    _add_engine_args(fuse)
 
     evaluate = sub.add_parser(
         "evaluate", help="score mined patterns against a reference set"
@@ -103,6 +111,9 @@ def build_parser() -> argparse.ArgumentParser:
 
     experiment = sub.add_parser("experiment", help="reproduce a paper figure")
     experiment.add_argument("id", help="fig6|fig7|fig8|fig9|fig10|all")
+    experiment.add_argument("--jobs", type=_positive_int, default=1,
+                            help="worker processes for Pattern-Fusion runs "
+                                 "(results are identical for any value)")
 
     datasets = sub.add_parser("datasets", help="generate a built-in dataset")
     datasets.add_argument("name", choices=["diag", "diag-plus", "replace", "all", "quest"])
@@ -110,6 +121,36 @@ def build_parser() -> argparse.ArgumentParser:
     datasets.add_argument("--seed", type=int, default=7)
     datasets.add_argument("--out", type=Path, required=True)
     return parser
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
+def _non_negative_int(text: str) -> int:
+    value = int(text)
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {value}")
+    return value
+
+
+def _add_engine_args(
+    parser: argparse.ArgumentParser,
+    jobs_help: str = "worker processes; 1 = serial (default)",
+) -> None:
+    engine = parser.add_argument_group(
+        "engine", "parallel execution (results never depend on these)"
+    )
+    engine.add_argument("--jobs", type=_positive_int, default=1, help=jobs_help)
+    engine.add_argument("--shards", type=_non_negative_int, default=0,
+                        help="audit result supports through an N-shard "
+                             "row partition of the database (0 = off)")
+    engine.add_argument("--partitioner", choices=PARTITIONERS,
+                        default="round-robin",
+                        help="row partitioner used with --shards")
 
 
 def _add_dataset_args(parser: argparse.ArgumentParser) -> None:
@@ -158,6 +199,35 @@ def _print_result(result: MiningResult, limit: int) -> None:
         print(f"  ... and {len(result) - limit} more")
 
 
+def _sharded_audit(
+    db: TransactionDatabase, patterns: list[Pattern], args: argparse.Namespace
+) -> int:
+    """Recount pattern supports through an N-shard partition (engine audit).
+
+    A disagreement can only mean a counting bug, so it is reported as a
+    non-zero exit; agreement prints one telemetry line.
+    """
+    n_shards = args.shards if args.shards > 0 else max(args.jobs, 1)
+    sharded = ShardedDatabase(db, n_shards, args.partitioner)
+    with make_executor(args.jobs) as executor:
+        mismatches = sharded.verify_patterns(
+            [(p.items, p.support) for p in patterns], executor=executor
+        )
+    if mismatches:
+        print(
+            f"sharded audit FAILED: {len(mismatches)} of {len(patterns)} "
+            f"supports disagree across {sharded.n_shards} shards",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"sharded audit: {len(patterns)} supports verified across "
+        f"{sharded.n_shards} {sharded.partitioner} shards "
+        f"(sizes {sharded.shard_sizes()}, jobs={args.jobs})"
+    )
+    return 0
+
+
 def _cmd_mine(args: argparse.Namespace) -> int:
     db = _load_database(args)
     print(describe(db))
@@ -168,6 +238,8 @@ def _cmd_mine(args: argparse.Namespace) -> int:
     else:
         result = _MINERS[args.algorithm](db, args.minsup)
     _print_result(result, args.limit)
+    if args.shards > 0 or args.jobs > 1:
+        return _sharded_audit(db, result.patterns, args)
     return 0
 
 
@@ -180,13 +252,20 @@ def _cmd_fuse(args: argparse.Namespace) -> int:
         initial_pool_max_size=args.pool_size,
         seed=args.seed,
     )
-    result = pattern_fusion(db, args.minsup, config)
+    # Always schedule through the engine so the mined pool is a function of
+    # the seed alone: --jobs 1 (the default) runs the same per-seed
+    # scheduling on a serial executor, making every --jobs value equivalent.
+    with make_executor(args.jobs) as executor:
+        result = pattern_fusion(db, args.minsup, config, executor=executor)
+    engine_note = f" [engine: {args.jobs} jobs]" if args.jobs > 1 else ""
     print(
         f"pattern-fusion: {len(result)} patterns after {result.iterations} "
         f"iterations (initial pool {result.initial_pool_size}) in "
-        f"{result.elapsed_seconds:.3f}s"
+        f"{result.elapsed_seconds:.3f}s{engine_note}"
     )
     _print_result(result.as_mining_result(), args.limit)
+    if args.shards > 0:
+        return _sharded_audit(db, result.patterns, args)
     return 0
 
 
@@ -214,7 +293,7 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
 
     ids = experiment_ids() if args.id == "all" else [args.id]
     for experiment_id in ids:
-        result = run_experiment(experiment_id)
+        result = run_experiment(experiment_id, jobs=args.jobs)
         print(result.format())
         print()
     return 0

@@ -67,22 +67,36 @@ class PatternBallIndex:
         :func:`repro.core.distance.ball` — the pivots only skip work, never
         answers (the tests assert this on random pools).
         """
+        return self.balls([center], radius)[0]
+
+    def balls(self, centers: list[Pattern], radius: float) -> list[list[Pattern]]:
+        """One ball per center from a single shared pass over the pool.
+
+        The bulk form of :meth:`ball`: the per-pattern pivot rows are walked
+        once for all centers, so collecting the K seed CoreLists of one
+        fusion round costs one pool traversal instead of K.  Answers are
+        identical to per-center queries (members in pool order).
+        """
         if radius < 0:
-            return []
+            return [[] for _ in centers]
         center_to_pivots = [
-            tidset_distance(center.tidset, pivot.tidset) for pivot in self._pivots
+            [tidset_distance(center.tidset, pivot.tidset) for pivot in self._pivots]
+            for center in centers
         ]
-        members: list[Pattern] = []
+        members: list[list[Pattern]] = [[] for _ in centers]
         for index, pattern in enumerate(self._pool):
-            excluded = False
-            for table, center_distance in zip(self._tables, center_to_pivots):
-                if abs(center_distance - table[index]) > radius:
-                    excluded = True
-                    break
-            if excluded:
-                continue
-            if tidset_distance(center.tidset, pattern.tidset) <= radius:
-                members.append(pattern)
+            for position, center in enumerate(centers):
+                excluded = False
+                for table, center_distance in zip(
+                    self._tables, center_to_pivots[position]
+                ):
+                    if abs(center_distance - table[index]) > radius:
+                        excluded = True
+                        break
+                if excluded:
+                    continue
+                if tidset_distance(center.tidset, pattern.tidset) <= radius:
+                    members[position].append(pattern)
         return members
 
     def exclusion_rate(self, center: Pattern, radius: float) -> float:

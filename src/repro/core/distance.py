@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from repro.mining.results import Pattern
 
-__all__ = ["pattern_distance", "tidset_distance", "ball_radius", "ball"]
+__all__ = ["pattern_distance", "tidset_distance", "ball_radius", "ball", "balls"]
 
 
 def tidset_distance(tidset_a: int, tidset_b: int) -> float:
@@ -58,3 +58,23 @@ def ball(
     pool, matching the fusion step which always fuses {α} ∪ CoreList.
     """
     return [p for p in pool if tidset_distance(center.tidset, p.tidset) <= radius]
+
+
+def balls(
+    centers: list[Pattern],
+    pool: list[Pattern],
+    radius: float,
+) -> list[list[Pattern]]:
+    """One ball per center, each exactly equal to :func:`ball` for that center.
+
+    The batched form of the range query: a single pass over the pool answers
+    every center, which is what the fusion drivers use to collect all K seed
+    CoreLists at once (and what keeps the pool traversal shared when the
+    pool is large).  Members are returned in pool order, like :func:`ball`.
+    """
+    members: list[list[Pattern]] = [[] for _ in centers]
+    for pattern in pool:
+        for position, center in enumerate(centers):
+            if tidset_distance(center.tidset, pattern.tidset) <= radius:
+                members[position].append(pattern)
+    return members

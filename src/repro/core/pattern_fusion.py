@@ -20,10 +20,14 @@ from __future__ import annotations
 import random
 import time
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # engine imports this module; keep the cycle lazy
+    from repro.engine.executor import Executor
 
 from repro.core.ball_index import PatternBallIndex
 from repro.core.config import PatternFusionConfig
-from repro.core.distance import ball, ball_radius
+from repro.core.distance import ball_radius, balls
 from repro.core.fusion import fuse_ball
 from repro.db.transaction_db import TransactionDatabase
 from repro.mining.levelwise import mine_up_to_size
@@ -86,6 +90,7 @@ def pattern_fusion(
     minsup: float | int,
     config: PatternFusionConfig | None = None,
     initial_pool: list[Pattern] | None = None,
+    executor: "Executor | None" = None,
 ) -> PatternFusionResult:
     """Run Pattern-Fusion end to end (the paper's Algorithm 1).
 
@@ -101,13 +106,21 @@ def pattern_fusion(
         Optional pre-mined pool (phase 1 output).  When omitted, the complete
         set of frequent patterns of size ≤ ``config.initial_pool_max_size``
         is mined here.
+    executor:
+        Optional :class:`repro.engine.executor.Executor`.  When given, each
+        iteration's per-seed work is scheduled through it (see
+        :mod:`repro.engine.parallel_fusion`); the result is deterministic in
+        ``config.seed`` and identical for any job count.  When omitted, the
+        original single-process loop runs unchanged.
 
     Returns
     -------
     PatternFusionResult
         Final pool, per-iteration telemetry, and provenance.
     """
-    return PatternFusion(db, minsup, config).run(initial_pool=initial_pool)
+    return PatternFusion(db, minsup, config, executor=executor).run(
+        initial_pool=initial_pool
+    )
 
 
 class PatternFusion:
@@ -122,10 +135,12 @@ class PatternFusion:
         db: TransactionDatabase,
         minsup: float | int,
         config: PatternFusionConfig | None = None,
+        executor: "Executor | None" = None,
     ) -> None:
         self.db = db
         self.config = config or PatternFusionConfig()
         self.minsup = db.absolute_minsup(minsup)
+        self.executor = executor
 
     def mine_initial_pool(self) -> list[Pattern]:
         """Phase 1: the complete set of patterns up to the configured size."""
@@ -186,6 +201,13 @@ class PatternFusion:
         self, pool: list[Pattern], radius: float, rng: random.Random
     ) -> list[Pattern]:
         """One call of Algorithm 2: K seeds → balls → fused super-patterns."""
+        if self.executor is not None:
+            from repro.engine.parallel_fusion import parallel_fusion_round
+
+            return parallel_fusion_round(
+                self.db, pool, radius, rng, self.config, self.minsup,
+                self.executor,
+            )
         config = self.config
         n_seeds = min(config.k, len(pool))
         seeds = rng.sample(pool, k=n_seeds)
@@ -198,12 +220,12 @@ class PatternFusion:
                 pool, n_pivots=config.ball_index_pivots,
                 rng=random.Random(0 if config.seed is None else config.seed),
             )
+        if index is not None:
+            core_lists = index.balls(seeds, radius)
+        else:
+            core_lists = balls(seeds, pool, radius)
         fused_by_items: dict[frozenset[int], Pattern] = {}
-        for seed in seeds:
-            if index is not None:
-                core_list = index.ball(seed, radius)
-            else:
-                core_list = ball(seed, pool, radius)
+        for seed, core_list in zip(seeds, core_lists):
             fused = fuse_ball(
                 self.db,
                 seed,

@@ -1,0 +1,44 @@
+"""Parallel execution engine: sharded databases, worker pools, batched queries.
+
+The scalability seam of the reproduction.  Everything here preserves exact
+answers — sharding merges to the same supports, the executor-scheduled
+fusion rounds produce the same pools — so callers opt into parallelism
+purely as a deployment decision (``jobs``/``shards`` knobs), never as an
+accuracy trade-off.
+"""
+
+from repro.engine.executor import (
+    Executor,
+    ParallelExecutor,
+    SerialExecutor,
+    make_executor,
+    split_chunks,
+    worker_payload,
+)
+from repro.engine.parallel_fusion import (
+    FusionTask,
+    parallel_fusion_round,
+    parallel_pattern_fusion,
+)
+from repro.engine.sharding import (
+    PARTITIONERS,
+    ShardedDatabase,
+    round_robin_partition,
+    size_balanced_partition,
+)
+
+__all__ = [
+    "Executor",
+    "SerialExecutor",
+    "ParallelExecutor",
+    "make_executor",
+    "split_chunks",
+    "worker_payload",
+    "ShardedDatabase",
+    "PARTITIONERS",
+    "round_robin_partition",
+    "size_balanced_partition",
+    "parallel_pattern_fusion",
+    "parallel_fusion_round",
+    "FusionTask",
+]

@@ -1,0 +1,248 @@
+"""Execution backends for the parallel engine.
+
+Every parallel surface in :mod:`repro.engine` funnels through one tiny
+abstraction: ``map_reduce(fn, chunks, merge, payload)``.  ``fn`` must be a
+*pure, top-level* function of its chunk plus a read-only payload fetched via
+:func:`worker_payload`; ``merge`` combines the per-chunk results, which are
+always delivered in chunk order.  Purity plus ordered delivery is what makes
+every driver built on top of this module *pool-equivalent across jobs*: the
+work distribution changes with the worker count, the answer never does.
+
+Two executors implement the interface:
+
+* :class:`SerialExecutor` runs chunks in-process, in order.  It installs the
+  payload through the same module global the workers use, so ``jobs=1`` runs
+  the byte-identical code path a worker would — there is no separate serial
+  re-implementation to drift.
+* :class:`ParallelExecutor` fans chunks across a ``ProcessPoolExecutor``
+  (processes, not threads: support counting and fusion are CPU-bound pure
+  Python).  The payload ships **once per worker at warm-up** through the
+  pool initializer — never per task — and the pool is kept alive and reused
+  while the payload object is unchanged (a *changed* payload re-creates the
+  worker pool: copy-on-write-cheap under ``fork``, worker startup cost under
+  ``spawn``).  On hosts where process pools are
+  unavailable (restricted sandboxes), it degrades to the serial path with a
+  warning instead of failing, so callers never need their own fallback.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import warnings
+from collections.abc import Callable, Iterable, Sequence
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Any, TypeVar
+
+__all__ = [
+    "Executor",
+    "SerialExecutor",
+    "ParallelExecutor",
+    "make_executor",
+    "split_chunks",
+    "worker_payload",
+]
+
+_T = TypeVar("_T")
+
+# The one module global of the protocol: the payload of the current
+# map_reduce call.  In a worker process the pool initializer sets it; under
+# the serial executor, map_reduce itself sets (and restores) it.
+_WORKER_PAYLOAD: Any = None
+
+_UNSET = object()
+
+
+def _init_worker(payload: Any) -> None:
+    """Pool initializer: install the shared payload in this worker."""
+    global _WORKER_PAYLOAD
+    _WORKER_PAYLOAD = payload
+
+
+def worker_payload() -> Any:
+    """The payload of the enclosing ``map_reduce`` call (serial or worker)."""
+    return _WORKER_PAYLOAD
+
+
+class Executor:
+    """Interface shared by the serial and process-pool backends."""
+
+    #: Number of worker slots; drivers use it to size their chunking.
+    jobs: int = 1
+
+    def map_reduce(
+        self,
+        fn: Callable[[Any], Any],
+        chunks: Sequence[Any],
+        merge: Callable[[list[Any]], Any],
+        payload: Any = None,
+    ) -> Any:
+        """Apply ``fn`` to every chunk and fold the ordered results."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release any worker processes (idempotent)."""
+
+    def __enter__(self) -> "Executor":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+class SerialExecutor(Executor):
+    """In-process execution, in chunk order — the reference semantics."""
+
+    jobs = 1
+
+    def map_reduce(
+        self,
+        fn: Callable[[Any], Any],
+        chunks: Sequence[Any],
+        merge: Callable[[list[Any]], Any],
+        payload: Any = None,
+    ) -> Any:
+        global _WORKER_PAYLOAD
+        previous = _WORKER_PAYLOAD
+        _WORKER_PAYLOAD = payload
+        try:
+            return merge([fn(chunk) for chunk in chunks])
+        finally:
+            _WORKER_PAYLOAD = previous
+
+    def __repr__(self) -> str:
+        return "SerialExecutor()"
+
+
+class ParallelExecutor(Executor):
+    """Process-pool execution with payload warm-up and payload-keyed reuse.
+
+    Parameters
+    ----------
+    jobs:
+        Worker process count (≥ 1).  ``jobs=1`` short-circuits to the serial
+        path without ever forking.
+    start_method:
+        ``multiprocessing`` start method; defaults to ``fork`` where
+        available (payload warm-up is then copy-on-write-cheap) and the
+        platform default elsewhere.
+    """
+
+    def __init__(self, jobs: int, start_method: str | None = None) -> None:
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs
+        self._start_method = start_method
+        self._pool: ProcessPoolExecutor | None = None
+        self._payload: Any = _UNSET
+        self._serial = SerialExecutor()
+        self._degraded = False
+
+    def _context(self) -> multiprocessing.context.BaseContext:
+        method = self._start_method
+        if method is None:
+            available = multiprocessing.get_all_start_methods()
+            method = "fork" if "fork" in available else None
+        return multiprocessing.get_context(method)
+
+    def _ensure_pool(self, payload: Any) -> ProcessPoolExecutor:
+        """A warm pool whose workers hold ``payload`` (reused when unchanged)."""
+        if self._pool is not None and payload is self._payload:
+            return self._pool
+        self._shutdown_pool()
+        pool = ProcessPoolExecutor(
+            max_workers=self.jobs,
+            mp_context=self._context(),
+            initializer=_init_worker,
+            initargs=(payload,),
+        )
+        self._pool = pool
+        self._payload = payload
+        return pool
+
+    def _shutdown_pool(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True, cancel_futures=True)
+            self._pool = None
+            self._payload = _UNSET
+
+    def map_reduce(
+        self,
+        fn: Callable[[Any], Any],
+        chunks: Sequence[Any],
+        merge: Callable[[list[Any]], Any],
+        payload: Any = None,
+    ) -> Any:
+        chunks = list(chunks)
+        if self.jobs == 1 or len(chunks) <= 1 or self._degraded:
+            return self._serial.map_reduce(fn, chunks, merge, payload)
+        try:
+            pool = self._ensure_pool(payload)
+        except OSError as error:
+            return self._degrade(error, fn, chunks, merge, payload)
+        try:
+            results = list(pool.map(fn, chunks))
+        except BrokenProcessPool as error:
+            # Only infrastructure failure degrades: an exception raised by
+            # ``fn`` inside a worker (even an OSError subclass) is re-raised
+            # by pool.map as itself, propagates to the caller unchanged, and
+            # leaves the pool healthy.
+            return self._degrade(error, fn, chunks, merge, payload)
+        return merge(results)
+
+    def _degrade(self, error, fn, chunks, merge, payload):
+        """Fall back to serial for good after a pool-infrastructure failure.
+
+        Restricted sandboxes may forbid fork/semaphores; the engine's
+        contract is pool-equivalence, so falling back is always safe.
+        """
+        self._degraded = True
+        self._shutdown_pool()
+        warnings.warn(
+            f"process pool unavailable ({error!r}); "
+            "falling back to serial execution",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        return self._serial.map_reduce(fn, chunks, merge, payload)
+
+    def close(self) -> None:
+        self._shutdown_pool()
+
+    def __repr__(self) -> str:
+        state = "degraded" if self._degraded else (
+            "warm" if self._pool is not None else "cold"
+        )
+        return f"ParallelExecutor(jobs={self.jobs}, {state})"
+
+
+def make_executor(jobs: int = 1, start_method: str | None = None) -> Executor:
+    """The canonical jobs→executor mapping used by the CLI and drivers."""
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    if jobs == 1:
+        return SerialExecutor()
+    return ParallelExecutor(jobs, start_method=start_method)
+
+
+def split_chunks(items: Iterable[_T], n_chunks: int) -> list[list[_T]]:
+    """Split ``items`` into ≤ ``n_chunks`` contiguous, near-even, non-empty runs.
+
+    Order is preserved within and across chunks, so flattening the per-chunk
+    results restores item order — the property the determinism guarantees
+    lean on.
+    """
+    if n_chunks < 1:
+        raise ValueError(f"n_chunks must be >= 1, got {n_chunks}")
+    items = list(items)
+    if not items:
+        return []
+    n_chunks = min(n_chunks, len(items))
+    base, extra = divmod(len(items), n_chunks)
+    chunks: list[list[_T]] = []
+    start = 0
+    for index in range(n_chunks):
+        size = base + (1 if index < extra else 0)
+        chunks.append(items[start : start + size])
+        start += size
+    return chunks

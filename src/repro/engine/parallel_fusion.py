@@ -1,0 +1,191 @@
+"""Parallel Pattern-Fusion: Algorithm 2's per-seed work fanned over workers.
+
+One fusion round of the paper does independent work per seed — collect the
+seed's CoreList with an ``r(τ)`` ball query, then run the randomized greedy
+fusion passes over that ball.  This module schedules that per-seed work onto
+an :class:`~repro.engine.executor.Executor` while keeping the run
+**deterministic for a fixed (config.seed, jobs)** and **identical across
+jobs values**:
+
+* Seed draws and the per-seed child seeds are produced on the driver, from
+  the algorithm's single RNG, in seed order — before any work is
+  distributed.  Each seed's fusion passes then run on a private
+  ``random.Random(child_seed)``, so a worker's stream never depends on which
+  worker it landed on or what ran before it.
+* Ball queries run on the driver through the batched ``balls`` APIs
+  (:meth:`PatternBallIndex.balls` / :func:`repro.core.distance.balls`), and
+  tasks carry only *indices* into the pool; the pool and the database ship
+  once per round as the executor's warm-up payload, not per task.  Because
+  the pool evolves, each round re-warms the worker processes — effectively
+  free under the ``fork`` start method (copy-on-write), but on
+  spawn-only platforms every round pays worker interpreter startup, so
+  expect ``jobs > 1`` to help there only when rounds are expensive.
+* Per-seed results are merged in seed order (first occurrence of an itemset
+  wins), exactly as the serial loop does.
+
+The top-level :func:`parallel_pattern_fusion` is the convenience driver:
+``jobs=1`` runs the same scheduling through the serial executor, which is
+what the agreement tests compare 2- and 4-job runs against.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.core.ball_index import PatternBallIndex
+from repro.core.config import PatternFusionConfig
+from repro.core.distance import balls
+from repro.core.fusion import fuse_ball
+from repro.db.transaction_db import TransactionDatabase
+from repro.engine.executor import Executor, make_executor, split_chunks, worker_payload
+from repro.mining.results import Pattern
+
+__all__ = ["parallel_pattern_fusion", "parallel_fusion_round", "FusionTask"]
+
+# Child seeds are drawn from the driver RNG in this range; 63 bits keeps
+# them exact ints everywhere and disjoint from the "no seed" sentinel.
+_CHILD_SEED_BITS = 63
+
+
+@dataclass(frozen=True, slots=True)
+class FusionTask:
+    """One seed's unit of work, shipped to whichever worker picks it up."""
+
+    seed_index: int
+    member_indices: tuple[int, ...]
+    child_seed: int
+
+
+@dataclass(frozen=True, slots=True)
+class _RoundPayload:
+    """Per-round warm-up payload: everything tasks share, shipped once."""
+
+    db: TransactionDatabase
+    pool: tuple[Pattern, ...]
+    tau: float
+    minsup: int
+    trials: int
+    max_candidates: int
+    close_fused: bool
+
+
+def _fuse_task_chunk(chunk: list[FusionTask]) -> list[list[Pattern]]:
+    """Worker body: run the fusion passes for each task in the chunk."""
+    payload: _RoundPayload = worker_payload()
+    results: list[list[Pattern]] = []
+    for task in chunk:
+        seed = payload.pool[task.seed_index]
+        members = [payload.pool[i] for i in task.member_indices]
+        results.append(
+            fuse_ball(
+                payload.db,
+                seed,
+                members,
+                tau=payload.tau,
+                minsup=payload.minsup,
+                rng=random.Random(task.child_seed),
+                trials=payload.trials,
+                max_candidates=payload.max_candidates,
+                close_fused=payload.close_fused,
+            )
+        )
+    return results
+
+
+def _concat(per_chunk: list[list[list[Pattern]]]) -> list[list[Pattern]]:
+    """Merge step: flatten chunk results back into task (= seed) order."""
+    flat: list[list[Pattern]] = []
+    for chunk_results in per_chunk:
+        flat.extend(chunk_results)
+    return flat
+
+
+def parallel_fusion_round(
+    db: TransactionDatabase,
+    pool: list[Pattern],
+    radius: float,
+    rng: random.Random,
+    config: PatternFusionConfig,
+    minsup: int,
+    executor: Executor,
+) -> list[Pattern]:
+    """One executor-scheduled round of Algorithm 2 over ``pool``.
+
+    Consumes exactly ``1 + n_seeds`` draws from ``rng`` (the seed sample and
+    the child seeds), regardless of the executor's job count — the
+    invariant behind cross-jobs pool equality.
+    """
+    n_seeds = min(config.k, len(pool))
+    seed_indices = rng.sample(range(len(pool)), k=n_seeds)
+    child_seeds = [rng.randrange(1 << _CHILD_SEED_BITS) for _ in seed_indices]
+    centers = [pool[i] for i in seed_indices]
+    if config.use_ball_index and len(pool) >= config.ball_index_min_pool:
+        # Same pivot seeding rule as the serial driver: index construction
+        # must never touch the algorithm's rng stream.
+        index = PatternBallIndex(
+            pool,
+            n_pivots=config.ball_index_pivots,
+            rng=random.Random(0 if config.seed is None else config.seed),
+        )
+        member_lists = index.balls(centers, radius)
+    else:
+        member_lists = balls(centers, pool, radius)
+    position = {pattern.items: i for i, pattern in enumerate(pool)}
+    tasks = [
+        FusionTask(
+            seed_index=seed_index,
+            member_indices=tuple(position[m.items] for m in members),
+            child_seed=child_seed,
+        )
+        for seed_index, members, child_seed in zip(
+            seed_indices, member_lists, child_seeds
+        )
+    ]
+    payload = _RoundPayload(
+        db=db,
+        pool=tuple(pool),
+        tau=config.tau,
+        minsup=minsup,
+        trials=config.fusion_trials,
+        max_candidates=config.max_candidates_per_seed,
+        close_fused=config.close_fused,
+    )
+    chunks = split_chunks(tasks, executor.jobs)
+    fused_lists = executor.map_reduce(_fuse_task_chunk, chunks, _concat, payload)
+    fused_by_items: dict[frozenset[int], Pattern] = {}
+    for fused in fused_lists:
+        for pattern in fused:
+            fused_by_items.setdefault(pattern.items, pattern)
+    return list(fused_by_items.values())
+
+
+def parallel_pattern_fusion(
+    db: TransactionDatabase,
+    minsup: float | int,
+    config: PatternFusionConfig | None = None,
+    jobs: int = 1,
+    initial_pool: list[Pattern] | None = None,
+    executor: Executor | None = None,
+):
+    """Run Pattern-Fusion with per-seed work fanned across ``jobs`` workers.
+
+    The final pool is a deterministic function of ``(db, minsup, config)``
+    alone: ``jobs`` (and the executor backend) only changes where the work
+    runs.  Pass an ``executor`` to reuse a warm pool across runs; otherwise
+    one is created from ``jobs`` and closed before returning.
+
+    Returns
+    -------
+    repro.core.pattern_fusion.PatternFusionResult
+    """
+    from repro.core.pattern_fusion import PatternFusion
+
+    owns_executor = executor is None
+    executor = executor if executor is not None else make_executor(jobs)
+    try:
+        runner = PatternFusion(db, minsup, config, executor=executor)
+        return runner.run(initial_pool=initial_pool)
+    finally:
+        if owns_executor:
+            executor.close()

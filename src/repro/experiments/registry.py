@@ -24,12 +24,18 @@ __all__ = ["ExperimentSpec", "REGISTRY", "run_experiment", "experiment_ids"]
 
 @dataclass(frozen=True)
 class ExperimentSpec:
-    """One reproducible paper artifact."""
+    """One reproducible paper artifact.
+
+    ``run_parallel``, when set, is invoked with a worker count for
+    ``jobs > 1`` requests; experiments without one simply run serially
+    (their results are identical either way — the engine guarantees it).
+    """
 
     experiment_id: str
     paper_artifact: str
     description: str
     run: Callable[[], ExperimentResult]
+    run_parallel: Callable[[int], ExperimentResult] | None = None
 
 
 REGISTRY: dict[str, ExperimentSpec] = {
@@ -40,6 +46,7 @@ REGISTRY: dict[str, ExperimentSpec] = {
             "Figure 6",
             "Run time on Diag_n: complete maximal mining vs Pattern-Fusion",
             lambda: fig6_diag_runtime.run(),
+            run_parallel=lambda jobs: fig6_diag_runtime.run(jobs=jobs),
         ),
         ExperimentSpec(
             "fig7",
@@ -64,6 +71,7 @@ REGISTRY: dict[str, ExperimentSpec] = {
             "Figure 10",
             "Run time on ALL-sim vs decreasing support threshold",
             lambda: fig10_all_runtime.run(),
+            run_parallel=lambda jobs: fig10_all_runtime.run(jobs=jobs),
         ),
     )
 }
@@ -74,11 +82,19 @@ def experiment_ids() -> list[str]:
     return list(REGISTRY)
 
 
-def run_experiment(experiment_id: str) -> ExperimentResult:
-    """Run one registered experiment by id."""
+def run_experiment(experiment_id: str, jobs: int = 1) -> ExperimentResult:
+    """Run one registered experiment by id, optionally with worker processes."""
     try:
         spec = REGISTRY[experiment_id]
     except KeyError:
         known = ", ".join(REGISTRY)
         raise KeyError(f"unknown experiment {experiment_id!r}; known: {known}") from None
+    if jobs > 1:
+        if spec.run_parallel is not None:
+            return spec.run_parallel(jobs)
+        result = spec.run()
+        result.note(
+            f"--jobs {jobs} ignored: this experiment has no parallel surface"
+        )
+        return result
     return spec.run()

@@ -7,7 +7,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.ball_index import PatternBallIndex
-from repro.core.distance import ball
+from repro.core.distance import ball, balls
 from repro.mining.results import Pattern
 
 tidsets = st.integers(min_value=0, max_value=2**20 - 1)
@@ -49,6 +49,47 @@ class TestCorrectness:
     def test_invalid_pivots(self):
         with pytest.raises(ValueError):
             PatternBallIndex([], n_pivots=-1)
+
+
+class TestBatchedBalls:
+    """The bulk ``balls`` APIs must equal per-center queries exactly."""
+
+    @given(pools, st.lists(tidsets, min_size=1, max_size=6),
+           st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=60, deadline=None)
+    def test_index_balls_equal_per_center(self, pool, center_masks, radius):
+        centers = [
+            Pattern(items=frozenset([200 + i]), tidset=mask)
+            for i, mask in enumerate(center_masks)
+        ]
+        index = PatternBallIndex(pool, n_pivots=4, rng=random.Random(0))
+        batched = index.balls(centers, radius)
+        assert len(batched) == len(centers)
+        for center, members in zip(centers, batched):
+            assert members == index.ball(center, radius)
+            assert members == ball(center, pool, radius)
+
+    @given(pools, st.lists(tidsets, min_size=1, max_size=6),
+           st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=60, deadline=None)
+    def test_brute_balls_equal_per_center(self, pool, center_masks, radius):
+        centers = [
+            Pattern(items=frozenset([200 + i]), tidset=mask)
+            for i, mask in enumerate(center_masks)
+        ]
+        batched = balls(centers, pool, radius)
+        assert batched == [ball(center, pool, radius) for center in centers]
+
+    def test_negative_radius_all_empty(self):
+        pool = [Pattern(items=frozenset([1]), tidset=0b1)]
+        index = PatternBallIndex(pool)
+        assert index.balls(pool, -0.5) == [[]]
+        assert balls(pool, pool, -0.5) == [[]]
+
+    def test_no_centers(self):
+        pool = [Pattern(items=frozenset([1]), tidset=0b1)]
+        assert PatternBallIndex(pool).balls([], 0.5) == []
+        assert balls([], pool, 0.5) == []
 
 
 class TestEffectiveness:

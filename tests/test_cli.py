@@ -82,6 +82,46 @@ class TestFuse:
         assert code == 0
 
 
+class TestEngineFlags:
+    def test_fuse_jobs_invariant(self, capsys):
+        # The engine guarantee, exposed at CLI level: the mined pool is
+        # identical for every --jobs value, including the serial default
+        # (and still finds the colossal size-39 block of the paper's
+        # introduction example).
+        base = ["fuse", "--dataset", "diag-plus", "--minsup", "20",
+                "--k", "10", "--pool-size", "2", "--seed", "0"]
+
+        def mined_lines(text):
+            return [line for line in text.splitlines() if "size" in line]
+
+        assert main(base) == 0
+        serial = capsys.readouterr().out
+        assert "size  39" in serial
+        assert main(base + ["--jobs", "2"]) == 0
+        two_jobs = capsys.readouterr().out
+        assert "[engine: 2 jobs]" in two_jobs
+        assert main(base + ["--jobs", "4"]) == 0
+        four_jobs = capsys.readouterr().out
+        assert mined_lines(serial) == mined_lines(two_jobs) == mined_lines(four_jobs)
+
+    def test_fuse_sharded_audit(self, capsys):
+        code = main(["fuse", "--dataset", "diag-plus", "--minsup", "20",
+                     "--k", "5", "--pool-size", "2", "--seed", "0",
+                     "--shards", "3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "sharded audit" in out
+        assert "3 round-robin shards" in out
+
+    def test_mine_sharded_audit(self, dat_file, capsys):
+        code = main(["mine", "--input", str(dat_file), "--minsup", "2",
+                     "--shards", "2", "--partitioner", "size-balanced"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "sharded audit" in out
+        assert "size-balanced" in out
+
+
 class TestEvaluate:
     def test_roundtrip(self, dat_file, tmp_path, capsys):
         mined = tmp_path / "mined.dat"
@@ -134,3 +174,20 @@ class TestExperimentCommand:
         monkeypatch.setitem(registry_module.REGISTRY, "fig6", fast)
         assert main(["experiment", "fig6"]) == 0
         assert "fig6" in capsys.readouterr().out
+
+    def test_experiment_jobs_flag(self, capsys, monkeypatch):
+        from repro.experiments import fig6_diag_runtime
+        from repro.experiments import registry as registry_module
+
+        config = fig6_diag_runtime.Fig6Config(
+            baseline_sizes=(6,), fusion_sizes=(6,), baseline_timeout=10.0
+        )
+        spec = registry_module.REGISTRY["fig6"]
+        fast = registry_module.ExperimentSpec(
+            spec.experiment_id, spec.paper_artifact, spec.description,
+            lambda: fig6_diag_runtime.run(config),
+            run_parallel=lambda jobs: fig6_diag_runtime.run(config, jobs=jobs),
+        )
+        monkeypatch.setitem(registry_module.REGISTRY, "fig6", fast)
+        assert main(["experiment", "fig6", "--jobs", "2"]) == 0
+        assert "2 worker processes" in capsys.readouterr().out
