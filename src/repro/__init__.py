@@ -45,6 +45,15 @@ from repro.mining import (
     mine_up_to_size,
     top_k_closed,
 )
+from repro.streaming import (
+    DriftingPatternSource,
+    DriftReport,
+    FimiReplaySource,
+    IncrementalPatternFusion,
+    ReplaySource,
+    SlidingWindowDatabase,
+    slide_seed,
+)
 
 __version__ = "1.0.0"
 
@@ -73,5 +82,12 @@ __all__ = [
     "maximal_patterns",
     "top_k_closed",
     "mine_up_to_size",
+    "SlidingWindowDatabase",
+    "IncrementalPatternFusion",
+    "slide_seed",
+    "DriftReport",
+    "ReplaySource",
+    "FimiReplaySource",
+    "DriftingPatternSource",
     "__version__",
 ]

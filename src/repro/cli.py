@@ -12,11 +12,15 @@ Subcommands
     Reproduce a paper figure (fig6…fig10) and print its table.
 ``datasets``
     Generate a built-in dataset and write it in FIMI format.
+``stream``
+    Maintain Pattern-Fusion incrementally over a sliding-window stream
+    (FIMI replay or a drifting synthetic source) and print the drift report.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from collections.abc import Sequence
 from pathlib import Path
@@ -36,7 +40,12 @@ from repro.mining import (
     mine_up_to_size,
     top_k_closed,
 )
-from repro.mining.results import MiningResult, Pattern, make_pattern
+from repro.mining.results import (
+    MiningResult,
+    Pattern,
+    colossal_rank_key,
+    make_pattern,
+)
 
 __all__ = ["main", "build_parser"]
 
@@ -110,7 +119,7 @@ def build_parser() -> argparse.ArgumentParser:
                           help="FIMI-format file of reference itemsets")
 
     experiment = sub.add_parser("experiment", help="reproduce a paper figure")
-    experiment.add_argument("id", help="fig6|fig7|fig8|fig9|fig10|all")
+    experiment.add_argument("id", help="fig6|fig7|fig8|fig9|fig10|stream|all")
     experiment.add_argument("--jobs", type=_positive_int, default=1,
                             help="worker processes for Pattern-Fusion runs "
                                  "(results are identical for any value)")
@@ -120,6 +129,51 @@ def build_parser() -> argparse.ArgumentParser:
     datasets.add_argument("--n", type=int, default=40, help="size for diag")
     datasets.add_argument("--seed", type=int, default=7)
     datasets.add_argument("--out", type=Path, required=True)
+
+    stream = sub.add_parser(
+        "stream",
+        help="incremental Pattern-Fusion over a sliding-window stream",
+    )
+    source = stream.add_mutually_exclusive_group(required=True)
+    source.add_argument("--input", type=Path,
+                        help="FIMI .dat trace to replay lazily")
+    source.add_argument("--drift", action="store_true",
+                        help="drifting synthetic QUEST-style source")
+    stream.add_argument("--minsup", type=_minsup_arg, required=True,
+                        help="relative in (0,1] or absolute >= 1, resolved "
+                             "against the window each slide")
+    stream.add_argument("--window", type=_positive_int, required=True,
+                        help="sliding-window capacity (transactions)")
+    stream.add_argument("--batch-size", type=_positive_int, default=50,
+                        help="transactions per slide")
+    stream.add_argument("--max-slides", type=_positive_int, default=None,
+                        help="stop after this many slides")
+    stream.add_argument("--transactions", type=_positive_int, default=None,
+                        help="--input: replay at most this many transactions")
+    stream.add_argument("--batches", type=_positive_int, default=None,
+                        help="--drift: batches to generate (default 20)")
+    stream.add_argument("--drift-every", type=_non_negative_int, default=None,
+                        help="--drift: resample part of the pattern pool "
+                             "every N batches (0 = stationary; default 5)")
+    stream.add_argument("--policy", choices=["auto", "always"], default="auto",
+                        help="auto: re-fuse only on pool invalidation; "
+                             "always: re-fuse every slide")
+    stream.add_argument("--k", type=int, default=100)
+    stream.add_argument("--tau", type=float, default=0.5)
+    stream.add_argument("--pool-size", type=int, default=3,
+                        help="initial pool max pattern size")
+    stream.add_argument("--seed", type=int, default=0,
+                        help="anchors the per-slide RNG schedule "
+                             "(and the --drift generator)")
+    stream.add_argument("--limit", type=int, default=10,
+                        help="print at most this many final patterns")
+    stream.add_argument("--json", type=Path, default=None,
+                        help="write the per-slide telemetry as JSON")
+    _add_engine_args(
+        stream,
+        jobs_help="worker processes for revalidation and re-fusion "
+                  "(results are identical for any value)",
+    )
     return parser
 
 
@@ -190,9 +244,7 @@ def _print_result(result: MiningResult, limit: int) -> None:
         f"{result.algorithm}: {len(result)} patterns at minsup "
         f"{result.minsup} in {result.elapsed_seconds:.3f}s"
     )
-    shown = sorted(
-        result.patterns, key=lambda p: (-p.size, -p.support, p.sorted_items())
-    )[:limit]
+    shown = sorted(result.patterns, key=colossal_rank_key)[:limit]
     for pattern in shown:
         print(f"  size {pattern.size:>3}  support {pattern.support:>6}  {pattern}")
     if len(result) > limit:
@@ -306,12 +358,84 @@ def _cmd_datasets(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_stream(args: argparse.Namespace) -> int:
+    from repro.streaming import (
+        DriftingPatternSource,
+        FimiReplaySource,
+        IncrementalPatternFusion,
+    )
+
+    # Flags that belong to the other source are rejected, not ignored — a
+    # silently dropped --transactions or --batches means the telemetry
+    # describes a different stream than the one asked for.
+    if args.input is not None:
+        misplaced = [
+            flag for flag, value in
+            (("--batches", args.batches), ("--drift-every", args.drift_every))
+            if value is not None
+        ]
+        if misplaced:
+            print(f"{', '.join(misplaced)} only applies to --drift",
+                  file=sys.stderr)
+            return 2
+        source = FimiReplaySource(
+            args.input, batch_size=args.batch_size, limit=args.transactions
+        )
+    else:
+        if args.transactions is not None:
+            print("--transactions only applies to --input", file=sys.stderr)
+            return 2
+        source = DriftingPatternSource(
+            batch_size=args.batch_size,
+            n_batches=20 if args.batches is None else args.batches,
+            drift_every=5 if args.drift_every is None else args.drift_every,
+            seed=args.seed,
+        )
+    config = PatternFusionConfig(
+        k=args.k,
+        tau=args.tau,
+        initial_pool_max_size=args.pool_size,
+        seed=args.seed,
+    )
+    with make_executor(args.jobs) as executor:
+        driver = IncrementalPatternFusion(
+            args.window,
+            args.minsup,
+            config,
+            executor=executor,
+            policy=args.policy,
+        )
+        report = driver.run(source, max_slides=args.max_slides)
+        if not len(report):
+            print("stream produced no transactions", file=sys.stderr)
+            return 2
+        print(report.format())
+        print(report.summary())
+        shown = driver.largest(args.limit)
+        for pattern in shown:
+            print(
+                f"  size {pattern.size:>3}  support {pattern.support:>6}  {pattern}"
+            )
+        if args.json is not None:
+            args.json.write_text(json.dumps(
+                {"slides": report.as_dicts(), "summary": report.summary()},
+                indent=2,
+            ))
+            print(f"wrote telemetry to {args.json}")
+    # Audit after the stream's executor has shut down, so the audit's own
+    # worker pool is the only one alive.
+    if args.shards > 0:
+        return _sharded_audit(driver.window.snapshot(), driver.patterns, args)
+    return 0
+
+
 _COMMANDS = {
     "mine": _cmd_mine,
     "fuse": _cmd_fuse,
     "evaluate": _cmd_evaluate,
     "experiment": _cmd_experiment,
     "datasets": _cmd_datasets,
+    "stream": _cmd_stream,
 }
 
 

@@ -7,7 +7,7 @@ construction time, not three iterations into a mining loop.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 __all__ = ["PatternFusionConfig"]
 
@@ -86,6 +86,15 @@ class PatternFusionConfig:
     ball_index_min_pool: int = 4096
     ball_index_pivots: int = 8
     seed: int | None = None
+
+    def reseeded(self, seed: int | None) -> "PatternFusionConfig":
+        """This configuration with only ``seed`` replaced.
+
+        The streaming driver's per-slide RNG schedule runs Algorithm 2 with a
+        fresh seed each window slide while every other knob stays pinned;
+        this helper keeps that derivation in one audited place.
+        """
+        return replace(self, seed=seed)
 
     def __post_init__(self) -> None:
         if self.k < 1:

@@ -31,7 +31,12 @@ from repro.core.distance import ball_radius, balls
 from repro.core.fusion import fuse_ball
 from repro.db.transaction_db import TransactionDatabase
 from repro.mining.levelwise import mine_up_to_size
-from repro.mining.results import MiningResult, Pattern
+from repro.mining.results import (
+    MiningResult,
+    Pattern,
+    colossal_rank_key,
+    largest_patterns,
+)
 
 __all__ = ["IterationStats", "PatternFusionResult", "pattern_fusion", "PatternFusion"]
 
@@ -79,10 +84,7 @@ class PatternFusionResult:
         )
 
     def largest(self, k: int = 1) -> list[Pattern]:
-        ranked = sorted(
-            self.patterns, key=lambda p: (-p.size, -p.support, p.sorted_items())
-        )
-        return ranked[:k]
+        return largest_patterns(self.patterns, k)
 
 
 def pattern_fusion(
@@ -184,9 +186,7 @@ class PatternFusion:
                 signature = new_signature
         if len(pool) > config.k:
             # Guard fired with an oversized pool: keep the K most colossal.
-            pool = sorted(
-                pool, key=lambda p: (-p.size, -p.support, p.sorted_items())
-            )[: config.k]
+            pool = largest_patterns(pool, config.k)
         return PatternFusionResult(
             patterns=pool,
             config=config,
@@ -259,9 +259,7 @@ def _with_elite(
     an unlucky seed draw later (see PatternFusionConfig.elitism).
     """
     merged: dict[frozenset[int], Pattern] = {p.items: p for p in new_pool}
-    elite = sorted(
-        old_pool, key=lambda p: (-p.size, -p.support, p.sorted_items())
-    )[:k]
+    elite = largest_patterns(old_pool, k)
     for pattern in elite:
         merged.setdefault(pattern.items, pattern)
     return list(merged.values())

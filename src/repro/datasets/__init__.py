@@ -24,7 +24,13 @@ from repro.datasets.replace import (
     ReplaceGroundTruth,
     replace_like,
 )
-from repro.datasets.synthetic import quest_like, random_database
+from repro.datasets.synthetic import (
+    pattern_pool,
+    planted_transaction,
+    quest_like,
+    random_database,
+    sample_pattern,
+)
 
 __all__ = [
     "diag",
@@ -47,4 +53,7 @@ __all__ = [
     "ALL_N_ITEMS",
     "quest_like",
     "random_database",
+    "sample_pattern",
+    "pattern_pool",
+    "planted_transaction",
 ]

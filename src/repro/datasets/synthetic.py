@@ -6,6 +6,12 @@ sizes, then build each transaction from a few (possibly corrupted) patterns.
 Used by the cross-miner agreement tests and the miner micro-benchmarks — it
 produces the unstructured mid-density workloads the planted paper datasets
 deliberately avoid.
+
+The two building blocks — :func:`pattern_pool` (draw the planted patterns)
+and :func:`planted_transaction` (draw one transaction from a pool) — are
+exposed separately so streaming sources can mutate the pool *between* draws
+(concept drift) while generating transactions with exactly the batch
+generator's row distribution.
 """
 
 from __future__ import annotations
@@ -14,7 +20,58 @@ import random
 
 from repro.db.transaction_db import TransactionDatabase
 
-__all__ = ["quest_like", "random_database"]
+__all__ = [
+    "quest_like",
+    "random_database",
+    "sample_pattern",
+    "pattern_pool",
+    "planted_transaction",
+]
+
+
+def sample_pattern(
+    rng: random.Random, n_items: int, mean_pattern_size: int
+) -> list[int]:
+    """Draw one planted pattern: an exponential-ish-sized item sample."""
+    size = max(1, min(n_items, int(rng.expovariate(1 / mean_pattern_size)) + 1))
+    return rng.sample(range(n_items), size)
+
+
+def pattern_pool(
+    rng: random.Random,
+    n_items: int,
+    n_patterns: int,
+    mean_pattern_size: int,
+) -> list[list[int]]:
+    """Draw the pool of potential patterns transactions are built from."""
+    return [
+        sample_pattern(rng, n_items, mean_pattern_size) for _ in range(n_patterns)
+    ]
+
+
+def planted_transaction(
+    rng: random.Random,
+    pool: list[list[int]],
+    n_items: int,
+    patterns_per_transaction: int,
+    corruption: float,
+) -> list[int]:
+    """Draw one transaction: the union of corrupted pattern draws.
+
+    Each of ``patterns_per_transaction`` draws picks a pool pattern and drops
+    each of its items independently with probability ``corruption``; an
+    all-empty result falls back to one uniform item so no transaction is
+    blank.
+    """
+    row: set[int] = set()
+    for _ in range(patterns_per_transaction):
+        pattern = pool[rng.randrange(len(pool))]
+        for item in pattern:
+            if rng.random() >= corruption:
+                row.add(item)
+    if not row:
+        row.add(rng.randrange(n_items))
+    return sorted(row)
 
 
 def quest_like(
@@ -38,21 +95,11 @@ def quest_like(
     if min(n_transactions, n_items, n_patterns, patterns_per_transaction) < 1:
         raise ValueError("all size parameters must be >= 1")
     rng = random.Random(seed)
-    pool: list[list[int]] = []
-    for _ in range(n_patterns):
-        size = max(1, min(n_items, int(rng.expovariate(1 / mean_pattern_size)) + 1))
-        pool.append(rng.sample(range(n_items), size))
-    transactions: list[list[int]] = []
-    for _ in range(n_transactions):
-        row: set[int] = set()
-        for _ in range(patterns_per_transaction):
-            pattern = pool[rng.randrange(n_patterns)]
-            for item in pattern:
-                if rng.random() >= corruption:
-                    row.add(item)
-        if not row:
-            row.add(rng.randrange(n_items))
-        transactions.append(sorted(row))
+    pool = pattern_pool(rng, n_items, n_patterns, mean_pattern_size)
+    transactions = [
+        planted_transaction(rng, pool, n_items, patterns_per_transaction, corruption)
+        for _ in range(n_transactions)
+    ]
     return TransactionDatabase(transactions, n_items=n_items)
 
 

@@ -2,18 +2,20 @@
 
 from repro.db import bitset
 from repro.db.encoder import ItemEncoder
-from repro.db.io import format_fimi, parse_fimi, read_fimi, write_fimi
+from repro.db.io import format_fimi, iter_fimi, parse_fimi, read_fimi, write_fimi
 from repro.db.stats import DatabaseStats, describe
-from repro.db.transaction_db import TransactionDatabase
+from repro.db.transaction_db import TransactionDatabase, absolute_minsup
 
 __all__ = [
     "bitset",
     "ItemEncoder",
     "TransactionDatabase",
+    "absolute_minsup",
     "DatabaseStats",
     "describe",
     "read_fimi",
     "write_fimi",
     "parse_fimi",
     "format_fimi",
+    "iter_fimi",
 ]

@@ -19,7 +19,30 @@ from collections.abc import Hashable, Iterable, Sequence
 from repro.db import bitset
 from repro.db.encoder import ItemEncoder
 
-__all__ = ["TransactionDatabase"]
+__all__ = ["TransactionDatabase", "absolute_minsup"]
+
+
+def absolute_minsup(sigma: float | int, n_transactions: int) -> int:
+    """Convert a support threshold into an absolute transaction count.
+
+    ``sigma`` in ``(0, 1]`` is treated as the paper's relative threshold σ
+    and rounded up; an integer ``sigma >= 1`` is already absolute.  A
+    threshold of 0 is rejected: "frequent" must mean at least one
+    supporting transaction.  Shared by :class:`TransactionDatabase` and the
+    streaming :class:`repro.streaming.window.SlidingWindowDatabase` so both
+    resolve thresholds identically.
+    """
+    if sigma <= 0:
+        raise ValueError(f"minimum support must be positive, got {sigma}")
+    if isinstance(sigma, int) or sigma > 1:
+        absolute = int(sigma)
+        if absolute != sigma:
+            raise ValueError(
+                f"absolute minimum support must be integral, got {sigma}"
+            )
+    else:
+        absolute = int(-(-sigma * n_transactions // 1))
+    return max(1, absolute)
 
 
 class TransactionDatabase:
@@ -162,23 +185,9 @@ class TransactionDatabase:
     def absolute_minsup(self, sigma: float | int) -> int:
         """Convert a support threshold into an absolute transaction count.
 
-        ``sigma`` in ``(0, 1]`` is treated as the paper's relative threshold σ
-        and rounded up; an integer ``sigma >= 1`` is already absolute.  A
-        threshold of 0 is rejected: "frequent" must mean at least one
-        supporting transaction.
+        See the module-level :func:`absolute_minsup` for the conversion rule.
         """
-        if sigma <= 0:
-            raise ValueError(f"minimum support must be positive, got {sigma}")
-        if isinstance(sigma, int) or sigma > 1:
-            absolute = int(sigma)
-            if absolute != sigma:
-                raise ValueError(
-                    f"absolute minimum support must be integral, got {sigma}"
-                )
-        else:
-            absolute = -(-sigma * len(self._transactions) // 1)
-            absolute = int(absolute)
-        return max(1, absolute)
+        return absolute_minsup(sigma, len(self._transactions))
 
     # ------------------------------------------------------------------
     # Closure operator

@@ -12,6 +12,7 @@ from repro.engine.executor import (
     ParallelExecutor,
     SerialExecutor,
     make_executor,
+    map_chunks,
     split_chunks,
     worker_payload,
 )
@@ -32,6 +33,7 @@ __all__ = [
     "SerialExecutor",
     "ParallelExecutor",
     "make_executor",
+    "map_chunks",
     "split_chunks",
     "worker_payload",
     "ShardedDatabase",

@@ -39,6 +39,7 @@ __all__ = [
     "SerialExecutor",
     "ParallelExecutor",
     "make_executor",
+    "map_chunks",
     "split_chunks",
     "worker_payload",
 ]
@@ -223,6 +224,33 @@ def make_executor(jobs: int = 1, start_method: str | None = None) -> Executor:
     if jobs == 1:
         return SerialExecutor()
     return ParallelExecutor(jobs, start_method=start_method)
+
+
+def map_chunks(
+    executor: Executor,
+    fn: Callable[[list[Any]], list[Any]],
+    items: Iterable[Any],
+    payload: Any = None,
+) -> list[Any]:
+    """Apply a per-chunk ``fn`` to ``items`` split across the executor's slots.
+
+    The most common ``map_reduce`` shape, packaged once: items are split into
+    ``executor.jobs`` ordered chunks, ``fn`` maps each chunk to a list of
+    per-item results, and the chunk results are concatenated back into item
+    order.  ``fn`` must be a pure top-level function (picklable) that returns
+    one result per chunk element; the shared ``payload`` is fetched inside it
+    via :func:`worker_payload`.
+    """
+    chunks = split_chunks(items, executor.jobs)
+    return executor.map_reduce(fn, chunks, _concat_chunks, payload)
+
+
+def _concat_chunks(per_chunk: list[list[Any]]) -> list[Any]:
+    """Merge step of :func:`map_chunks`: restore item order by concatenation."""
+    flat: list[Any] = []
+    for chunk_results in per_chunk:
+        flat.extend(chunk_results)
+    return flat
 
 
 def split_chunks(items: Iterable[_T], n_chunks: int) -> list[list[_T]]:

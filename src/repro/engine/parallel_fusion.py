@@ -38,7 +38,7 @@ from repro.core.config import PatternFusionConfig
 from repro.core.distance import balls
 from repro.core.fusion import fuse_ball
 from repro.db.transaction_db import TransactionDatabase
-from repro.engine.executor import Executor, make_executor, split_chunks, worker_payload
+from repro.engine.executor import Executor, make_executor, map_chunks, worker_payload
 from repro.mining.results import Pattern
 
 __all__ = ["parallel_pattern_fusion", "parallel_fusion_round", "FusionTask"]
@@ -93,14 +93,6 @@ def _fuse_task_chunk(chunk: list[FusionTask]) -> list[list[Pattern]]:
     return results
 
 
-def _concat(per_chunk: list[list[list[Pattern]]]) -> list[list[Pattern]]:
-    """Merge step: flatten chunk results back into task (= seed) order."""
-    flat: list[list[Pattern]] = []
-    for chunk_results in per_chunk:
-        flat.extend(chunk_results)
-    return flat
-
-
 def parallel_fusion_round(
     db: TransactionDatabase,
     pool: list[Pattern],
@@ -151,8 +143,7 @@ def parallel_fusion_round(
         max_candidates=config.max_candidates_per_seed,
         close_fused=config.close_fused,
     )
-    chunks = split_chunks(tasks, executor.jobs)
-    fused_lists = executor.map_reduce(_fuse_task_chunk, chunks, _concat, payload)
+    fused_lists = map_chunks(executor, _fuse_task_chunk, tasks, payload)
     fused_by_items: dict[frozenset[int], Pattern] = {}
     for fused in fused_lists:
         for pattern in fused:

@@ -15,7 +15,30 @@ from dataclasses import dataclass, field
 
 from repro.db.transaction_db import TransactionDatabase
 
-__all__ = ["Pattern", "MiningResult", "make_pattern", "patterns_equal_as_sets"]
+__all__ = [
+    "Pattern",
+    "MiningResult",
+    "make_pattern",
+    "patterns_equal_as_sets",
+    "colossal_rank_key",
+    "largest_patterns",
+]
+
+
+def colossal_rank_key(pattern: "Pattern") -> tuple[int, int, tuple[int, ...]]:
+    """The canonical "most colossal first" sort key.
+
+    Larger patterns first, support breaking size ties, item ids breaking
+    both — every ranking surface (miners, Pattern-Fusion, the streaming
+    driver, the CLI) sorts by this one key so their notions of "largest"
+    can never diverge.
+    """
+    return (-pattern.size, -pattern.support, pattern.sorted_items())
+
+
+def largest_patterns(patterns: Iterable["Pattern"], k: int = 1) -> list["Pattern"]:
+    """The ``k`` most colossal patterns under :func:`colossal_rank_key`."""
+    return sorted(patterns, key=colossal_rank_key)[:k]
 
 
 @dataclass(frozen=True, slots=True)
@@ -107,11 +130,7 @@ class MiningResult:
 
     def largest(self, k: int = 1) -> list[Pattern]:
         """The ``k`` largest patterns by size (ties broken by support, items)."""
-        ranked = sorted(
-            self.patterns,
-            key=lambda p: (-p.size, -p.support, p.sorted_items()),
-        )
-        return ranked[:k]
+        return largest_patterns(self.patterns, k)
 
 
 def patterns_equal_as_sets(a: Iterable[Pattern], b: Iterable[Pattern]) -> bool:

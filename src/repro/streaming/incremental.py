@@ -1,0 +1,408 @@
+"""Incremental Pattern-Fusion over a sliding window.
+
+A naive streaming deployment re-runs Algorithm 1 from cold on every window
+slide: re-mine the complete ≤L initial pool, then iterate Algorithm 2 until
+the pool fits in K.  :class:`IncrementalPatternFusion` maintains the state a
+slide actually changes:
+
+* The **initial pool** (the complete set of frequent patterns of size ≤ L,
+  the paper's phase-1 output) is carried across slides.  Supports are
+  *revalidated against the delta*: each carried tidset is shifted past the
+  evicted rows and extended with the batch's containment bits — O(pool ×
+  batch) work, batched through an :class:`~repro.engine.executor.Executor`,
+  instead of O(pool × window) re-counting.  Deaths are the entries that fell
+  below threshold; births are re-seeded from the *invalidated region only* —
+  by support monotonicity, a pattern newly frequent after a slide must be
+  contained in an arriving transaction (evictions only lose support), so
+  candidate enumeration walks subsets of the arrival rows alone.
+* The **fused pool** (the colossal output) is revalidated the same way.  A
+  slide that changes no pool membership carries the fused pool forward with
+  refreshed supports; a slide that *invalidates* (any birth or death)
+  re-fuses — but warm: phase 1 is already maintained, so only Algorithm 2
+  runs, seeded by the slide's entry in a deterministic per-slide RNG
+  schedule (:func:`slide_seed`).
+
+Because the maintained initial pool is kept *exactly* equal to the cold
+phase-1 output — same patterns, same tidsets, same (Eclat DFS ≡
+lexicographic) order — every re-fusion slide is bit-identical to a cold
+:func:`repro.core.pattern_fusion.pattern_fusion` run on the current window
+with that slide's seed, for any executor job count.  The agreement tests
+assert exactly this.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Iterable
+
+from repro.core.config import PatternFusionConfig
+from repro.core.pattern_fusion import PatternFusion
+from repro.engine.executor import Executor, SerialExecutor, map_chunks, worker_payload
+from repro.mining.levelwise import mine_up_to_size
+from repro.mining.results import Pattern, largest_patterns
+from repro.streaming.report import DriftReport, SlideStats
+from repro.streaming.window import SlidingWindowDatabase
+
+__all__ = ["IncrementalPatternFusion", "slide_seed"]
+
+_MASK64 = (1 << 64) - 1
+
+
+def slide_seed(seed: int | None, slide: int) -> int:
+    """The per-slide fusion seed: splitmix64 of (base seed, slide index).
+
+    A pure integer mix, so the schedule is reproducible across platforms and
+    job counts; distinct slides get decorrelated Algorithm 2 RNG streams
+    even for adjacent indices.  ``seed=None`` maps to base 0 (the streaming
+    driver is always deterministic — an unseeded config pins the schedule
+    rather than randomizing it, matching the serial driver's ball-index
+    convention).
+    """
+    if slide < 0:
+        raise ValueError(f"slide must be >= 0, got {slide}")
+    base = 0 if seed is None else seed
+    x = (base + (slide + 1) * 0x9E3779B97F4A7C15) & _MASK64
+    x ^= x >> 30
+    x = (x * 0xBF58476D1CE4E5B9) & _MASK64
+    x ^= x >> 27
+    x = (x * 0x94D049BB133111EB) & _MASK64
+    x ^= x >> 31
+    return x & ((1 << 63) - 1)
+
+
+def _shift_chunk(chunk: list[tuple[frozenset[int], int]]) -> list[int]:
+    """Worker body: revalidate carried tidsets against the slide delta.
+
+    The payload is ``(kept_rows, evicted, base_len)``: the batch rows that
+    survived into the window, how many window-local positions the old rows
+    shifted down, and the local position the first kept row landed on.  Each
+    carried ``(items, tidset)`` maps to its new-window tidset without
+    touching the window itself.
+    """
+    kept_rows, evicted, base_len = worker_payload()
+    out: list[int] = []
+    for items, tidset in chunk:
+        delta = 0
+        for position, row in enumerate(kept_rows):
+            if items <= row:
+                delta |= 1 << position
+        out.append((tidset >> evicted) | (delta << base_len))
+    return out
+
+
+class IncrementalPatternFusion:
+    """Maintain Pattern-Fusion output over a sliding transaction window.
+
+    Parameters
+    ----------
+    capacity:
+        Window capacity; arrivals beyond it evict the oldest rows (FIFO).
+        ``None`` grows the window without bound (a full-replay accumulator).
+    minsup:
+        Relative (float in (0,1]) or absolute (int ≥ 1) minimum support,
+        resolved against the window length on every slide.
+    config:
+        Algorithm parameters.  ``config.seed`` anchors the per-slide RNG
+        schedule; every other knob applies to each re-fusion unchanged.
+    executor:
+        Optional engine executor for the batched revalidation and the
+        re-fusion rounds.  Defaults to a :class:`SerialExecutor`; results
+        are identical for any executor, so jobs is purely a speed knob.
+    policy:
+        ``"auto"`` (default) re-fuses only on invalidation — a slide that
+        changes some pool membership — and otherwise carries the fused pool
+        with refreshed supports.  ``"always"`` re-fuses every slide, making
+        *each* slide's pool bit-identical to a cold run on that window.
+    window:
+        Optional pre-built :class:`SlidingWindowDatabase` to adopt (its
+        capacity wins); by default a fresh window of ``capacity`` is created.
+    """
+
+    def __init__(
+        self,
+        capacity: int | None,
+        minsup: float | int,
+        config: PatternFusionConfig | None = None,
+        executor: Executor | None = None,
+        policy: str = "auto",
+        window: SlidingWindowDatabase | None = None,
+    ) -> None:
+        if policy not in ("auto", "always"):
+            raise ValueError(f"policy must be 'auto' or 'always', got {policy!r}")
+        self.window = window if window is not None else SlidingWindowDatabase(capacity)
+        self.minsup = minsup
+        self.config = config or PatternFusionConfig()
+        self.executor = executor if executor is not None else SerialExecutor()
+        self.policy = policy
+        self.report = DriftReport()
+        self._initial: dict[frozenset[int], int] = {}
+        self._patterns: list[Pattern] = []
+        self._slides = 0
+        self._minsup_abs: int | None = None
+        self._stream_span = (self.window.start, self.window.end)
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def patterns(self) -> list[Pattern]:
+        """The current fused (colossal) pool."""
+        return list(self._patterns)
+
+    @property
+    def initial_pool(self) -> list[Pattern]:
+        """The maintained complete ≤L pool, in cold (lexicographic) order."""
+        return self._initial_pool_ordered()
+
+    @property
+    def slides(self) -> int:
+        """Number of slides processed so far."""
+        return self._slides
+
+    def largest(self, k: int = 1) -> list[Pattern]:
+        """The ``k`` largest patterns in the fused pool (cold-run ranking)."""
+        return largest_patterns(self._patterns, k)
+
+    # ------------------------------------------------------------------
+    # Driving
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        source: Iterable[list[list[int]]],
+        max_slides: int | None = None,
+    ) -> DriftReport:
+        """Process every batch of ``source`` (up to ``max_slides``)."""
+        for index, batch in enumerate(source):
+            if max_slides is not None and index >= max_slides:
+                break
+            self.slide(batch)
+        return self.report
+
+    def slide(self, batch: Iterable[Iterable[int]]) -> SlideStats:
+        """Ingest one batch, maintain both pools, and record telemetry."""
+        started = time.perf_counter()
+        arrivals = [frozenset(row) for row in batch]
+        window = self.window
+        # Any append *or* evict outside slide() desynchronises carried
+        # tidsets; both move one of the stream positions.
+        out_of_band = (window.start, window.end) != self._stream_span
+        w_before = len(window)
+        capacity = window.capacity
+        if capacity is not None:
+            overflow = max(0, w_before + len(arrivals) - capacity)
+            evicted_old = min(w_before, overflow)
+        else:
+            evicted_old = 0
+        surviving_old = w_before - evicted_old
+        # A batch larger than the capacity turns the whole window over
+        # (surviving_old == 0), which takes the rebuild path below — so the
+        # revalidation delta is always exactly the arrivals.
+        kept = arrivals
+        evicted_total = window.extend(arrivals)
+        minsup_abs = window.absolute_minsup(self.minsup) if len(window) else 1
+
+        rebuild = (
+            out_of_band
+            or self._minsup_abs is None
+            or surviving_old == 0
+            or minsup_abs < self._minsup_abs
+        )
+        before_items = {p.items for p in self._patterns}
+        if rebuild:
+            initial, revalidated, initial_births, initial_deaths, pool_deaths = (
+                self._rebuild(minsup_abs)
+            )
+        else:
+            initial, revalidated, initial_births, initial_deaths, pool_deaths = (
+                self._revalidate(kept, evicted_old, surviving_old, minsup_abs)
+            )
+        self._initial = initial
+
+        invalidated = bool(
+            rebuild or initial_births or initial_deaths or pool_deaths
+        )
+        refused = self.policy == "always" or invalidated
+        if refused and initial:
+            config = self.config.reseeded(
+                slide_seed(self.config.seed, self._slides)
+            )
+            runner = PatternFusion(
+                window.snapshot(), minsup_abs, config, executor=self.executor
+            )
+            result = runner.run(initial_pool=self._initial_pool_ordered())
+            self._patterns = list(result.patterns)
+        elif refused:
+            self._patterns = []  # nothing frequent: the pool is empty
+        else:
+            self._patterns = revalidated
+
+        after_items = {p.items for p in self._patterns}
+        top = self.largest(1)
+        stats = SlideStats(
+            index=self._slides,
+            arrived=len(arrivals),
+            evicted=evicted_total,
+            window_size=len(window),
+            minsup=minsup_abs,
+            initial_pool_size=len(initial),
+            initial_births=initial_births,
+            initial_deaths=initial_deaths,
+            pool_size=len(self._patterns),
+            births=len(after_items - before_items),
+            deaths=len(before_items - after_items),
+            refused=refused,
+            rebuilt=rebuild,
+            largest_size=top[0].size if top else 0,
+            largest_support=top[0].support if top else 0,
+            seconds=time.perf_counter() - started,
+        )
+        self.report.record(stats)
+        self._slides += 1
+        self._minsup_abs = minsup_abs
+        self._stream_span = (window.start, window.end)
+        return stats
+
+    # ------------------------------------------------------------------
+    # Pool maintenance
+    # ------------------------------------------------------------------
+
+    def _initial_pool_ordered(self) -> list[Pattern]:
+        """The maintained ≤L pool in the cold miner's output order.
+
+        Eclat descends items in ascending id order, so its DFS preorder is
+        exactly lexicographic order on sorted item tuples — which is what
+        makes a re-fusion from this list bit-identical to a cold run.
+        """
+        return [
+            Pattern(items=items, tidset=tidset)
+            for items, tidset in sorted(
+                self._initial.items(), key=lambda entry: tuple(sorted(entry[0]))
+            )
+        ]
+
+    def _rebuild(
+        self, minsup_abs: int
+    ) -> tuple[dict[frozenset[int], int], list[Pattern], int, int, int]:
+        """Cold path: re-mine the ≤L pool and re-count the fused pool.
+
+        Taken on the first slide, when the whole window turned over, when
+        the absolute threshold dropped (a shrinking window can newly qualify
+        patterns with *no* arrival support, breaking the delta-only re-seed
+        argument), or when the window was mutated outside ``slide()``.
+        """
+        mined = mine_up_to_size(
+            self.window.snapshot(), minsup_abs, self.config.initial_pool_max_size
+        ) if len(self.window) else None
+        initial = (
+            {p.items: p.tidset for p in mined.patterns} if mined is not None else {}
+        )
+        births = sum(1 for items in initial if items not in self._initial)
+        deaths = sum(1 for items in self._initial if items not in initial)
+        revalidated: list[Pattern] = []
+        pool_deaths = 0
+        for pattern in self._patterns:
+            tidset = self.window.tidset(pattern.items) if len(self.window) else 0
+            if tidset.bit_count() >= minsup_abs:
+                revalidated.append(Pattern(items=pattern.items, tidset=tidset))
+            else:
+                pool_deaths += 1
+        return initial, revalidated, births, deaths, pool_deaths
+
+    def _revalidate(
+        self,
+        kept: list[frozenset[int]],
+        evicted_old: int,
+        surviving_old: int,
+        minsup_abs: int,
+    ) -> tuple[dict[frozenset[int], int], list[Pattern], int, int, int]:
+        """Incremental path: shift carried tidsets past the delta, then re-seed.
+
+        One batched executor pass revalidates the ≤L pool and the fused pool
+        together (they share the slide's delta payload); births are then
+        enumerated from the arrival rows only.
+        """
+        entries = list(self._initial.items())
+        pool_entries = [(p.items, p.tidset) for p in self._patterns]
+        combined = entries + pool_entries
+        if combined:
+            payload = (tuple(kept), evicted_old, surviving_old)
+            shifted = map_chunks(self.executor, _shift_chunk, combined, payload)
+        else:
+            shifted = []
+        initial: dict[frozenset[int], int] = {}
+        initial_deaths = 0
+        for (items, _), tidset in zip(entries, shifted[: len(entries)]):
+            if tidset.bit_count() >= minsup_abs:
+                initial[items] = tidset
+            else:
+                initial_deaths += 1
+        revalidated: list[Pattern] = []
+        pool_deaths = 0
+        for (items, _), tidset in zip(pool_entries, shifted[len(entries) :]):
+            if tidset.bit_count() >= minsup_abs:
+                revalidated.append(Pattern(items=items, tidset=tidset))
+            else:
+                pool_deaths += 1
+        initial_births = self._reseed(kept, initial, minsup_abs)
+        return initial, revalidated, initial_births, initial_deaths, pool_deaths
+
+    def _reseed(
+        self,
+        kept: list[frozenset[int]],
+        initial: dict[frozenset[int], int],
+        minsup_abs: int,
+    ) -> int:
+        """Restore ≤L-pool completeness by walking the invalidated region.
+
+        Any itemset newly frequent after the slide gained support from the
+        delta (evictions only lose support, and the threshold did not drop —
+        that case rebuilds), so it is a subset of some arrival row.  A
+        per-row DFS over frequent items with Apriori pruning therefore
+        enumerates every possible birth; window tidsets confirm each one.
+        """
+        max_size = self.config.initial_pool_max_size
+        frequent = set(self.window.frequent_items(minsup_abs))
+        births = 0
+        seen_rows: set[frozenset[int]] = set()
+        for row in kept:
+            candidates = sorted(row & frequent)
+            row_key = frozenset(candidates)
+            if not candidates or row_key in seen_rows:
+                continue
+            seen_rows.add(row_key)
+            births += self._grow(
+                (), self.window.universe, candidates, 0, initial, minsup_abs,
+                max_size,
+            )
+        return births
+
+    def _grow(
+        self,
+        prefix: tuple[int, ...],
+        prefix_tidset: int,
+        candidates: list[int],
+        start: int,
+        initial: dict[frozenset[int], int],
+        minsup_abs: int,
+        max_size: int,
+    ) -> int:
+        """DFS one row's subset lattice, pruning infrequent extensions."""
+        births = 0
+        for index in range(start, len(candidates)):
+            item = candidates[index]
+            tidset = prefix_tidset & self.window.item_tidset(item)
+            if tidset.bit_count() < minsup_abs:
+                continue  # Apriori: every superset through this branch is out
+            items = prefix + (item,)
+            key = frozenset(items)
+            if key not in initial:
+                initial[key] = tidset
+                births += 1
+            if len(items) < max_size:
+                births += self._grow(
+                    items, tidset, candidates, index + 1, initial, minsup_abs,
+                    max_size,
+                )
+        return births

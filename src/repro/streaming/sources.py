@@ -1,0 +1,175 @@
+"""Transaction sources: where a stream's batches come from.
+
+A source is simply an iterable of *batches* (each a list of transactions,
+each transaction a list of item ids).  Three sources cover the workloads the
+streaming subsystem targets:
+
+* :class:`ReplaySource` — replay an in-memory row sequence (tests,
+  experiments, and any already-loaded database via ``db.transactions``);
+* :class:`FimiReplaySource` — replay a FIMI ``.dat`` file through the lazy
+  :func:`repro.db.io.iter_fimi` reader, so ingestion memory is O(batch)
+  regardless of trace size;
+* :class:`DriftingPatternSource` — an endless QUEST-style generator (built on
+  :mod:`repro.datasets.synthetic`) whose planted pattern pool is partially
+  resampled every ``drift_every`` batches: the controlled concept-drift
+  workload for exercising pattern births and deaths.
+
+Every source is deterministic: iterating twice yields identical batches.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Iterable, Iterator
+from pathlib import Path
+
+from repro.datasets.synthetic import pattern_pool, planted_transaction, sample_pattern
+from repro.db.io import iter_fimi
+
+__all__ = [
+    "TransactionSource",
+    "ReplaySource",
+    "FimiReplaySource",
+    "DriftingPatternSource",
+]
+
+
+class TransactionSource:
+    """Base class: a deterministic iterable of transaction batches."""
+
+    def batches(self) -> Iterator[list[list[int]]]:
+        """Yield the stream's batches in order."""
+        raise NotImplementedError
+
+    def __iter__(self) -> Iterator[list[list[int]]]:
+        return self.batches()
+
+
+def _batched(
+    rows: Iterable[Iterable[int]], batch_size: int, limit: int | None
+) -> Iterator[list[list[int]]]:
+    """Group a row iterator into ``batch_size`` batches, up to ``limit`` rows."""
+    batch: list[list[int]] = []
+    for count, row in enumerate(rows):
+        if limit is not None and count >= limit:
+            break
+        batch.append(list(row))
+        if len(batch) == batch_size:
+            yield batch
+            batch = []
+    if batch:
+        yield batch
+
+
+class ReplaySource(TransactionSource):
+    """Replay an in-memory sequence of transactions in fixed-size batches."""
+
+    def __init__(
+        self,
+        rows: Iterable[Iterable[int]],
+        batch_size: int = 100,
+        limit: int | None = None,
+    ) -> None:
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        self.rows: list[list[int]] = [list(row) for row in rows]
+        self.batch_size = batch_size
+        self.limit = limit
+
+    def batches(self) -> Iterator[list[list[int]]]:
+        return _batched(self.rows, self.batch_size, self.limit)
+
+
+class FimiReplaySource(TransactionSource):
+    """Replay a FIMI ``.dat`` file lazily, ``batch_size`` transactions at a time.
+
+    The file is re-opened (and re-streamed) on each iteration; at no point
+    are more than ``batch_size`` transactions held, so multi-gigabyte traces
+    replay in constant memory.  ``limit`` caps the replayed transaction
+    count, which is how smoke tests trim a large trace.
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        batch_size: int = 100,
+        limit: int | None = None,
+    ) -> None:
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        self.path = Path(path)
+        self.batch_size = batch_size
+        self.limit = limit
+
+    def batches(self) -> Iterator[list[list[int]]]:
+        return _batched(iter_fimi(self.path), self.batch_size, self.limit)
+
+
+class DriftingPatternSource(TransactionSource):
+    """QUEST-style stream whose planted pattern pool drifts over time.
+
+    Batches are drawn exactly like :func:`repro.datasets.synthetic.quest_like`
+    rows, but every ``drift_every`` batches a ``drift_fraction`` share of the
+    pattern pool is replaced with fresh draws — old planted patterns fade
+    out of the window while new ones gain support, which is the workload the
+    drift report's births/deaths telemetry is built to surface.
+
+    ``drift_every=0`` disables drift (a stationary QUEST stream).
+    """
+
+    def __init__(
+        self,
+        n_items: int = 40,
+        batch_size: int = 50,
+        n_batches: int = 20,
+        n_patterns: int = 12,
+        mean_pattern_size: int = 4,
+        patterns_per_transaction: int = 3,
+        corruption: float = 0.25,
+        drift_every: int = 5,
+        drift_fraction: float = 0.25,
+        seed: int = 0,
+    ) -> None:
+        if min(n_items, batch_size, n_batches, n_patterns) < 1:
+            raise ValueError("all size parameters must be >= 1")
+        if not 0.0 <= corruption < 1.0:
+            raise ValueError(f"corruption must be in [0, 1), got {corruption}")
+        if drift_every < 0:
+            raise ValueError(f"drift_every must be >= 0, got {drift_every}")
+        if not 0.0 <= drift_fraction <= 1.0:
+            raise ValueError(
+                f"drift_fraction must be in [0, 1], got {drift_fraction}"
+            )
+        self.n_items = n_items
+        self.batch_size = batch_size
+        self.n_batches = n_batches
+        self.n_patterns = n_patterns
+        self.mean_pattern_size = mean_pattern_size
+        self.patterns_per_transaction = patterns_per_transaction
+        self.corruption = corruption
+        self.drift_every = drift_every
+        self.drift_fraction = drift_fraction
+        self.seed = seed
+
+    def batches(self) -> Iterator[list[list[int]]]:
+        rng = random.Random(self.seed)
+        pool = pattern_pool(
+            rng, self.n_items, self.n_patterns, self.mean_pattern_size
+        )
+        for index in range(self.n_batches):
+            if self.drift_every and index and index % self.drift_every == 0:
+                replaced = max(1, round(self.drift_fraction * len(pool)))
+                for slot in sorted(rng.sample(range(len(pool)), replaced)):
+                    pool[slot] = sample_pattern(
+                        rng, self.n_items, self.mean_pattern_size
+                    )
+            yield [
+                planted_transaction(
+                    rng,
+                    pool,
+                    self.n_items,
+                    self.patterns_per_transaction,
+                    self.corruption,
+                )
+                for _ in range(self.batch_size)
+            ]

@@ -156,6 +156,88 @@ class TestDatasets:
         assert read_fimi(out).n_transactions == 200
 
 
+class TestStream:
+    @pytest.fixture
+    def trace(self, tmp_path):
+        # A stream whose second half plants a block the first half lacks.
+        path = tmp_path / "trace.dat"
+        rows = ["0 1 2", "0 1", "1 2", "0 1 2"] * 3 + ["5 6 7"] * 6
+        path.write_text("\n".join(rows) + "\n")
+        return path
+
+    def test_fimi_replay(self, trace, capsys):
+        code = main(["stream", "--input", str(trace), "--minsup", "2",
+                     "--window", "8", "--batch-size", "4", "--k", "5",
+                     "--seed", "0"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "slide" in out
+        assert "drift report" in out
+        assert "size" in out  # final patterns are printed
+
+    def test_jobs_invariant(self, trace, capsys):
+        base = ["stream", "--input", str(trace), "--minsup", "2",
+                "--window", "8", "--batch-size", "4", "--k", "5", "--seed", "0"]
+        assert main(base) == 0
+        serial = capsys.readouterr().out
+        assert main(base + ["--jobs", "2"]) == 0
+        parallel = capsys.readouterr().out
+
+        def pattern_lines(text):
+            return [line for line in text.splitlines() if "support" in line]
+
+        assert pattern_lines(serial) == pattern_lines(parallel)
+
+    def test_drift_source(self, capsys):
+        code = main(["stream", "--drift", "--minsup", "5", "--window", "60",
+                     "--batch-size", "30", "--batches", "4", "--k", "10",
+                     "--pool-size", "2", "--seed", "1"])
+        assert code == 0
+        assert "drift report: 4 slides" in capsys.readouterr().out
+
+    def test_json_telemetry(self, trace, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "telemetry.json"
+        code = main(["stream", "--input", str(trace), "--minsup", "2",
+                     "--window", "8", "--batch-size", "4", "--json", str(out)])
+        assert code == 0
+        payload = json.loads(out.read_text())
+        assert len(payload["slides"]) == 5
+        assert payload["slides"][0]["index"] == 0
+        assert "drift report" in payload["summary"]
+
+    def test_sharded_audit_on_final_window(self, trace, capsys):
+        code = main(["stream", "--input", str(trace), "--minsup", "2",
+                     "--window", "8", "--batch-size", "4", "--shards", "2"])
+        assert code == 0
+        assert "sharded audit" in capsys.readouterr().out
+
+    def test_empty_stream_rejected(self, tmp_path, capsys):
+        empty = tmp_path / "empty.dat"
+        empty.write_text("")
+        code = main(["stream", "--input", str(empty), "--minsup", "2",
+                     "--window", "4"])
+        assert code == 2
+
+    def test_input_and_drift_exclusive(self, trace):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["stream", "--input", str(trace), "--drift",
+                 "--minsup", "2", "--window", "4"]
+            )
+
+    def test_misplaced_source_flags_rejected(self, trace, capsys):
+        code = main(["stream", "--input", str(trace), "--minsup", "2",
+                     "--window", "8", "--batches", "3"])
+        assert code == 2
+        assert "--drift" in capsys.readouterr().err
+        code = main(["stream", "--drift", "--minsup", "2", "--window", "8",
+                     "--transactions", "10"])
+        assert code == 2
+        assert "--input" in capsys.readouterr().err
+
+
 class TestExperimentCommand:
     def test_fig6_small_runs(self, capsys, monkeypatch):
         # Patch the registry to a fast config so the CLI path stays quick.

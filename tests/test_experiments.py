@@ -137,11 +137,13 @@ class TestFig10:
 
 class TestRegistry:
     def test_all_figures_registered(self):
-        assert experiment_ids() == ["fig6", "fig7", "fig8", "fig9", "fig10"]
+        assert experiment_ids() == [
+            "fig6", "fig7", "fig8", "fig9", "fig10", "stream"
+        ]
 
     def test_specs_have_descriptions(self):
         for spec in REGISTRY.values():
-            assert spec.paper_artifact.startswith("Figure")
+            assert spec.paper_artifact.startswith(("Figure", "Streaming"))
             assert spec.description
 
     def test_unknown_id(self):
