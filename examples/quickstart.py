@@ -1,50 +1,69 @@
 """Quickstart: mine a colossal pattern that complete miners cannot reach.
 
-Reproduces the paper's introductory example: a 60 × 39 table (Diag40 plus 20
-identical rows of 39 fresh items) has an astronomically large number of
-mid-size maximal patterns — C(40, 20) ≈ 1.4 · 10^11 — drowning any complete
-miner, yet exactly one *colossal* pattern: the 39 fresh items at support 20.
+Reproduces the paper's introductory example through the unified miner API:
+a 60 × 39 table (Diag40 plus 20 identical rows of 39 fresh items) has an
+astronomically large number of mid-size maximal patterns — C(40, 20) ≈
+1.4 · 10^11 — drowning any complete miner, yet exactly one *colossal*
+pattern: the 39 fresh items at support 20.
+
+Every algorithm here is a registered ``Miner``: one lifecycle
+(``create_miner(name, **knobs).mine(db)``), one registry (``repro miners``
+lists them all), and one ``Pipeline`` builder to compose runs declaratively.
 
 Run:
     python examples/quickstart.py
 """
 
-from repro import PatternFusionConfig, pattern_fusion
+from repro import Pipeline, create_miner, miner_names
 from repro.datasets import diag_plus
 from repro.db import describe
-from repro.mining import maximal_patterns
 
 
 def main() -> None:
     db = diag_plus()  # the paper's 60 x 39 example table
     print("dataset:", describe(db))
+    print("registered miners:", ", ".join(miner_names()))
 
     # A complete miner is hopeless here.  Give it two seconds to prove it.
+    baseline = create_miner("maximal", minsup=20, max_seconds=2.0)
     try:
-        maximal_patterns(db, minsup=20, max_seconds=2.0)
+        baseline.mine(db)
         print("complete maximal mining finished (unexpected at this scale)")
     except TimeoutError:
         print("complete maximal mining: gave up after 2s "
               "(the paper waited 10 hours for FPClose/LCM2)")
 
-    # Pattern-Fusion leaps straight to the colossal pattern.
-    config = PatternFusionConfig(
+    # Pattern-Fusion leaps straight to the colossal pattern — same lifecycle,
+    # different name and knobs.
+    fusion = create_miner(
+        "pattern_fusion",
+        minsup=20,
         k=10,                    # mine at most 10 patterns
         tau=0.5,                 # core ratio (the paper's worked value)
         initial_pool_max_size=2, # phase 1: all frequent 1- and 2-itemsets
         seed=0,                  # deterministic run
     )
-    result = pattern_fusion(db, minsup=20, config=config)
+    result = fusion.mine(db)
     print(
-        f"pattern-fusion: {len(result)} patterns from an initial pool of "
-        f"{result.initial_pool_size} in {result.iterations} iterations "
-        f"({result.elapsed_seconds:.2f}s)"
+        f"pattern-fusion: {len(result)} patterns in "
+        f"{result.elapsed_seconds:.2f}s"
     )
 
-    colossal = result.largest(1)[0]
+    colossal = max(result.patterns, key=lambda p: p.size)
     print(f"largest pattern: size {colossal.size}, support {colossal.support}")
     assert colossal.items == frozenset(range(40, 79)), "should be the planted block"
     print("-> exactly the planted 39-item colossal pattern. QED.")
+
+    # The same run as a declarative pipeline: dataset -> miner -> report.
+    report = (
+        Pipeline()
+        .dataset("diag-plus")
+        .miner("pattern_fusion", minsup=20, k=10,
+               initial_pool_max_size=2, seed=0)
+        .run()
+    )
+    print()
+    print(report.format(limit=3))
 
 
 if __name__ == "__main__":

@@ -5,18 +5,42 @@ including every substrate the paper relies on: a transaction-database layer,
 the complete-mining baselines it competes against (Apriori, Eclat, FP-growth,
 closed/maximal miners, TFP top-k, CARPENTER), the Pattern-Fusion core, the
 quality-evaluation model of Section 5, and generators for the paper's
-datasets.
+datasets — all behind one unified miner API (:mod:`repro.api`).
 
 Quickstart::
 
-    from repro import PatternFusionConfig, pattern_fusion
+    from repro import Pipeline, create_miner
     from repro.datasets import diag_plus
 
     db = diag_plus()                       # the paper's 60 x 39 example
-    result = pattern_fusion(db, minsup=20, config=PatternFusionConfig(k=10, seed=0))
-    print(result.largest(1)[0])            # the size-39 colossal pattern
+    miner = create_miner("pattern_fusion", minsup=20, k=10, seed=0)
+    print(miner.mine(db).patterns[0])      # -> part of the colossal pattern
+
+    report = (Pipeline().dataset("diag-plus")
+              .miner("pattern_fusion", minsup=20, k=10, seed=0).run())
+    print(report.format())
+
+Every algorithm is listed by ``repro miners`` / :func:`repro.api.miner_names`
+and follows the same ``Miner(config).mine(db)`` lifecycle; the original
+function entry points (``pattern_fusion``, ``eclat``, …) remain as thin,
+stable wrappers.
 """
 
+from repro.api import (
+    BUILTIN_DATASETS,
+    Capabilities,
+    Miner,
+    MinerConfig,
+    MinerSpec,
+    MINERS,
+    Pipeline,
+    PipelineReport,
+    create_miner,
+    get_miner_spec,
+    load_dataset,
+    miner_names,
+    register,
+)
 from repro.core import (
     PatternFusion,
     PatternFusionConfig,
@@ -45,13 +69,23 @@ from repro.mining import (
     mine_up_to_size,
     top_k_closed,
 )
+from repro.sequences import (
+    SequenceDatabase,
+    SequenceFusionResult,
+    SequenceMiningResult,
+    SequencePattern,
+    prefixspan,
+    sequence_pattern_fusion,
+)
 from repro.streaming import (
     DriftingPatternSource,
     DriftReport,
     FimiReplaySource,
     IncrementalPatternFusion,
     ReplaySource,
+    SlideStats,
     SlidingWindowDatabase,
+    TransactionSource,
     slide_seed,
 )
 
@@ -61,20 +95,38 @@ __all__ = [
     "TransactionDatabase",
     "Pattern",
     "MiningResult",
+    # unified miner API
+    "Miner",
+    "MinerConfig",
+    "MinerSpec",
+    "Capabilities",
+    "MINERS",
+    "register",
+    "create_miner",
+    "get_miner_spec",
+    "miner_names",
+    "Pipeline",
+    "PipelineReport",
+    "load_dataset",
+    "BUILTIN_DATASETS",
+    # Pattern-Fusion core
     "pattern_fusion",
     "PatternFusion",
     "PatternFusionConfig",
     "PatternFusionResult",
     "pattern_distance",
     "ball_radius",
+    # engine
     "ShardedDatabase",
     "SerialExecutor",
     "ParallelExecutor",
     "make_executor",
     "parallel_pattern_fusion",
+    # evaluation
     "edit_distance",
     "approximate",
     "approximation_error",
+    # complete/closed/maximal baselines
     "apriori",
     "eclat",
     "fpgrowth",
@@ -82,12 +134,22 @@ __all__ = [
     "maximal_patterns",
     "top_k_closed",
     "mine_up_to_size",
+    # streaming
     "SlidingWindowDatabase",
     "IncrementalPatternFusion",
     "slide_seed",
     "DriftReport",
+    "SlideStats",
+    "TransactionSource",
     "ReplaySource",
     "FimiReplaySource",
     "DriftingPatternSource",
+    # sequences
+    "SequenceDatabase",
+    "SequencePattern",
+    "SequenceMiningResult",
+    "prefixspan",
+    "sequence_pattern_fusion",
+    "SequenceFusionResult",
     "__version__",
 ]

@@ -1,0 +1,48 @@
+"""Unified Miner API: one estimator protocol, central registry, pipelines.
+
+Three pieces (see the package README's "Unified API" section):
+
+* :mod:`repro.api.base` — the :class:`Miner` protocol (``Miner(config)``,
+  ``.mine(db)``, plus ``update``/``partial_mine`` for streaming miners),
+  :class:`MinerConfig` frozen configs with JSON round trip, and the
+  :class:`Capabilities` feature flags.
+* :mod:`repro.api.registry` — the central ``MINERS`` registry every dispatch
+  surface (CLI, experiments, pipelines) resolves miners through.
+* :mod:`repro.api.pipeline` — the declarative ``dataset → miner →
+  evaluation → report`` :class:`Pipeline` builder.
+
+Adapter classes register themselves from the modules that implement the
+algorithms; the registry imports those modules lazily on first lookup.
+"""
+
+from repro.api.base import Capabilities, Miner, MinerConfig
+from repro.api.pipeline import (
+    BUILTIN_DATASETS,
+    Pipeline,
+    PipelineReport,
+    load_dataset,
+)
+from repro.api.registry import (
+    MINERS,
+    MinerSpec,
+    create_miner,
+    get_miner_spec,
+    miner_names,
+    register,
+)
+
+__all__ = [
+    "Capabilities",
+    "Miner",
+    "MinerConfig",
+    "MinerSpec",
+    "MINERS",
+    "register",
+    "create_miner",
+    "get_miner_spec",
+    "miner_names",
+    "Pipeline",
+    "PipelineReport",
+    "load_dataset",
+    "BUILTIN_DATASETS",
+]

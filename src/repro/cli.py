@@ -3,7 +3,11 @@
 Subcommands
 -----------
 ``mine``
-    Run any miner on a FIMI ``.dat`` file (or a named built-in dataset).
+    Run any registered miner on a FIMI ``.dat`` file (or a named built-in
+    dataset): ``--miner <name>`` picks it, ``--set key=value`` tunes it.
+``miners``
+    List every registered miner with its capabilities (``--json`` for the
+    machine-readable form including each config schema).
 ``fuse``
     Run Pattern-Fusion and print the mined colossal patterns.
 ``evaluate``
@@ -15,6 +19,10 @@ Subcommands
 ``stream``
     Maintain Pattern-Fusion incrementally over a sliding-window stream
     (FIMI replay or a drifting synthetic source) and print the drift report.
+
+Every mining subcommand dispatches through the central registry
+(:mod:`repro.api.registry`); the legacy ``mine --algorithm`` spelling is
+kept as an alias for ``--miner``.
 """
 
 from __future__ import annotations
@@ -24,22 +32,18 @@ import json
 import sys
 from collections.abc import Sequence
 from pathlib import Path
+from typing import Any
 
-from repro.core import PatternFusionConfig, pattern_fusion
-from repro.datasets import all_like, diag, diag_plus, quest_like, replace_like
+from repro.api import (
+    BUILTIN_DATASETS,
+    MinerSpec,
+    get_miner_spec,
+    load_dataset,
+    miner_names,
+)
 from repro.db import TransactionDatabase, describe, read_fimi, write_fimi
 from repro.engine import PARTITIONERS, ShardedDatabase, make_executor
 from repro.evaluation import approximate, summarize_approximation
-from repro.mining import (
-    apriori,
-    carpenter_closed_patterns,
-    closed_patterns,
-    eclat,
-    fpgrowth,
-    maximal_patterns,
-    mine_up_to_size,
-    top_k_closed,
-)
 from repro.mining.results import (
     MiningResult,
     Pattern,
@@ -48,6 +52,15 @@ from repro.mining.results import (
 )
 
 __all__ = ["main", "build_parser"]
+
+#: Legacy ``--algorithm`` values; ``pool`` was the pre-registry spelling of
+#: the bounded-size complete miner.
+_LEGACY_ALGORITHMS = (
+    "apriori", "carpenter", "closed", "eclat", "fpgrowth", "maximal",
+    "pool", "topk",
+)
+_LEGACY_NAME_ALIASES = {"pool": "levelwise"}
+
 
 def _minsup_arg(text: str) -> float | int:
     """Parse --minsup preserving the int/float distinction.
@@ -61,16 +74,6 @@ def _minsup_arg(text: str) -> float | int:
         return float(text)
 
 
-_MINERS = {
-    "apriori": lambda db, minsup: apriori(db, minsup),
-    "eclat": lambda db, minsup: eclat(db, minsup),
-    "fpgrowth": lambda db, minsup: fpgrowth(db, minsup),
-    "closed": lambda db, minsup: closed_patterns(db, minsup),
-    "maximal": lambda db, minsup: maximal_patterns(db, minsup),
-    "carpenter": lambda db, minsup: carpenter_closed_patterns(db, minsup),
-}
-
-
 def build_parser() -> argparse.ArgumentParser:
     """The full argparse tree (exposed for tests and docs generation)."""
     parser = argparse.ArgumentParser(
@@ -79,24 +82,38 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    mine = sub.add_parser("mine", help="run a complete miner on a dataset")
+    mine = sub.add_parser("mine", help="run a registered miner on a dataset")
     _add_dataset_args(mine)
-    mine.add_argument("--algorithm", choices=sorted(_MINERS) + ["topk", "pool"],
-                      default="closed")
-    mine.add_argument("--minsup", type=_minsup_arg, required=True,
-                      help="relative in (0,1] or absolute >= 1")
-    mine.add_argument("--top-k", type=int, default=100,
-                      help="k for --algorithm topk")
-    mine.add_argument("--min-size", type=int, default=1,
-                      help="min pattern size for topk; max size for pool")
+    mine.add_argument("--miner", metavar="NAME", default=None,
+                      help="registered miner name (see `repro miners`); "
+                           "default: closed")
+    mine.add_argument("--algorithm", choices=_LEGACY_ALGORITHMS, default=None,
+                      help="legacy alias for --miner")
+    mine.add_argument("--set", dest="assignments", action="append", default=[],
+                      metavar="KEY=VALUE",
+                      help="set a miner config knob (value parsed as JSON, "
+                           "bare strings allowed); repeatable")
+    mine.add_argument("--minsup", type=_minsup_arg, default=None,
+                      help="relative in (0,1] or absolute >= 1 (required by "
+                           "every miner with a minsup knob)")
+    mine.add_argument("--top-k", type=int, default=None,
+                      help="k for --miner topk")
+    mine.add_argument("--min-size", type=int, default=None,
+                      help="min pattern size for topk; max size for levelwise")
     mine.add_argument("--limit", type=int, default=20,
                       help="print at most this many patterns")
     _add_engine_args(
         mine,
         jobs_help="worker processes for the sharded support audit "
-                  "(mining itself is serial; implies --shards N when "
-                  "--shards is not given)",
+                  "(use `--set jobs=N` for miners with a jobs knob; implies "
+                  "--shards N when --shards is not given)",
     )
+
+    miners = sub.add_parser(
+        "miners", help="list registered miners and their capabilities"
+    )
+    miners.add_argument("--json", action="store_true",
+                        help="machine-readable listing incl. config schemas")
 
     fuse = sub.add_parser("fuse", help="run Pattern-Fusion")
     _add_dataset_args(fuse)
@@ -125,7 +142,7 @@ def build_parser() -> argparse.ArgumentParser:
                                  "(results are identical for any value)")
 
     datasets = sub.add_parser("datasets", help="generate a built-in dataset")
-    datasets.add_argument("name", choices=["diag", "diag-plus", "replace", "all", "quest"])
+    datasets.add_argument("name", choices=list(BUILTIN_DATASETS))
     datasets.add_argument("--n", type=int, default=40, help="size for diag")
     datasets.add_argument("--seed", type=int, default=7)
     datasets.add_argument("--out", type=Path, required=True)
@@ -212,7 +229,7 @@ def _add_dataset_args(parser: argparse.ArgumentParser) -> None:
     group.add_argument("--input", type=Path, help="FIMI .dat transaction file")
     group.add_argument(
         "--dataset",
-        choices=["diag", "diag-plus", "replace", "all", "quest"],
+        choices=list(BUILTIN_DATASETS),
         help="built-in generated dataset",
     )
     parser.add_argument("--n", type=int, default=40, help="size for --dataset diag")
@@ -222,21 +239,7 @@ def _add_dataset_args(parser: argparse.ArgumentParser) -> None:
 def _load_database(args: argparse.Namespace) -> TransactionDatabase:
     if args.input is not None:
         return read_fimi(args.input)
-    return _generate(args.dataset, args.n, args.dataset_seed)
-
-
-def _generate(name: str, n: int, seed: int) -> TransactionDatabase:
-    if name == "diag":
-        return diag(n)
-    if name == "diag-plus":
-        return diag_plus(n)
-    if name == "replace":
-        return replace_like(seed=seed)[0]
-    if name == "all":
-        return all_like(seed=seed)[0]
-    if name == "quest":
-        return quest_like(seed=seed)
-    raise ValueError(f"unknown dataset {name!r}")
+    return load_dataset(args.dataset, n=args.n, seed=args.dataset_seed)
 
 
 def _print_result(result: MiningResult, limit: int) -> None:
@@ -280,35 +283,135 @@ def _sharded_audit(
     return 0
 
 
+class _CliError(Exception):
+    """A user-input problem with a message fit to print as-is (exit 2)."""
+
+
+def _parse_assignments(pairs: list[str]) -> dict[str, Any]:
+    """``--set key=value`` pairs → knob dict (values parsed as JSON)."""
+    values: dict[str, Any] = {}
+    for pair in pairs:
+        key, sep, raw = pair.partition("=")
+        if not sep or not key:
+            raise _CliError(
+                f"--set expects KEY=VALUE, got {pair!r} "
+                "(e.g. --set tau=0.4, --set seed=7, --set policy=always)"
+            )
+        try:
+            values[key] = json.loads(raw)
+        except json.JSONDecodeError:
+            values[key] = raw  # bare strings (e.g. policy=always) are fine
+    return values
+
+
+def _build_mine_config(spec: MinerSpec, args: argparse.Namespace):
+    """Assemble a miner config from --minsup/--top-k/--min-size/--set.
+
+    Raises :class:`_CliError` with a crisp message on unknown knobs or
+    invalid values — the registry config's own validation does the checking.
+    """
+    knobs = spec.config_type.knob_names()
+    values: dict[str, Any] = {}
+    if "minsup" in knobs and args.minsup is not None:
+        values["minsup"] = args.minsup
+    if spec.name == "topk":
+        if args.top_k is not None:
+            values["k"] = args.top_k
+        if args.min_size is not None:
+            values["min_size"] = args.min_size
+    if spec.name == "levelwise":
+        if args.min_size is not None:
+            values["max_size"] = max(1, args.min_size)
+        elif args.legacy_pool:
+            values["max_size"] = 1  # the pre-registry `--algorithm pool` default
+    values.update(_parse_assignments(args.assignments))
+    if "minsup" in knobs and "minsup" not in values:
+        raise _CliError(f"miner {spec.name!r} requires --minsup (or --set minsup=...)")
+    try:
+        return spec.config_type.from_dict(values)
+    except (TypeError, ValueError) as error:
+        raise _CliError(f"invalid config for miner {spec.name!r}: {error}") from None
+
+
 def _cmd_mine(args: argparse.Namespace) -> int:
+    if args.miner is not None and args.algorithm is not None:
+        print("pass either --miner or --algorithm, not both", file=sys.stderr)
+        return 2
+    name = args.miner or args.algorithm or "closed"
+    args.legacy_pool = args.algorithm == "pool"
+    name = _LEGACY_NAME_ALIASES.get(name, name)
+    try:
+        spec = get_miner_spec(name)
+        config = _build_mine_config(spec, args)
+    except (_CliError, ValueError) as error:
+        print(error, file=sys.stderr)
+        return 2
     db = _load_database(args)
     print(describe(db))
-    if args.algorithm == "topk":
-        result = top_k_closed(db, args.top_k, min_size=args.min_size)
-    elif args.algorithm == "pool":
-        result = mine_up_to_size(db, args.minsup, max_size=max(1, args.min_size))
-    else:
-        result = _MINERS[args.algorithm](db, args.minsup)
+    result = spec.cls(config).mine(db)
     _print_result(result, args.limit)
     if args.shards > 0 or args.jobs > 1:
+        if spec.capabilities.sequences:
+            # Sequence supports count subsequence embeddings, not itemset
+            # containment — the transaction-shard recount would compare
+            # different quantities, so there is nothing to audit.
+            print("sharded audit skipped: sequence supports are not "
+                  "itemset supports")
+            return 0
+        window = getattr(config, "window", None)
+        if (
+            spec.capabilities.streaming
+            and window is not None
+            and window < db.n_transactions
+        ):
+            # A bounded window mined only the last `window` rows, so the
+            # reported supports are window-local; recounting them against
+            # the full database would flag every pattern as a mismatch.
+            print(f"sharded audit skipped: supports are local to the final "
+                  f"{window}-row window, not the {db.n_transactions}-row "
+                  "database")
+            return 0
         return _sharded_audit(db, result.patterns, args)
+    return 0
+
+
+def _cmd_miners(args: argparse.Namespace) -> int:
+    specs = [get_miner_spec(name) for name in miner_names()]
+    if args.json:
+        print(json.dumps([spec.describe() for spec in specs], indent=2))
+        return 0
+    name_width = max(len(spec.name) for spec in specs)
+    caps_width = max(len(spec.capabilities.describe()) for spec in specs)
+    print(f"{'MINER':<{name_width}}  {'CAPABILITIES':<{caps_width}}  SUMMARY")
+    for spec in specs:
+        print(
+            f"{spec.name:<{name_width}}  "
+            f"{spec.capabilities.describe():<{caps_width}}  {spec.summary}"
+        )
+    print()
+    print("run one with: repro mine --miner NAME [--minsup S] [--set KEY=VALUE]")
+    print("config knobs: repro miners --json")
     return 0
 
 
 def _cmd_fuse(args: argparse.Namespace) -> int:
     db = _load_database(args)
     print(describe(db))
-    config = PatternFusionConfig(
-        k=args.k,
-        tau=args.tau,
-        initial_pool_max_size=args.pool_size,
-        seed=args.seed,
-    )
+    spec = get_miner_spec("parallel_pattern_fusion")
     # Always schedule through the engine so the mined pool is a function of
     # the seed alone: --jobs 1 (the default) runs the same per-seed
     # scheduling on a serial executor, making every --jobs value equivalent.
-    with make_executor(args.jobs) as executor:
-        result = pattern_fusion(db, args.minsup, config, executor=executor)
+    miner = spec.cls(
+        spec.config_type.from_dict({
+            "minsup": args.minsup,
+            "k": args.k,
+            "tau": args.tau,
+            "initial_pool_max_size": args.pool_size,
+            "seed": args.seed,
+            "jobs": args.jobs,
+        })
+    )
+    result = miner.fuse(db)
     engine_note = f" [engine: {args.jobs} jobs]" if args.jobs > 1 else ""
     print(
         f"pattern-fusion: {len(result)} patterns after {result.iterations} "
@@ -352,18 +455,14 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
 
 
 def _cmd_datasets(args: argparse.Namespace) -> int:
-    db = _generate(args.name, args.n, args.seed)
+    db = load_dataset(args.name, n=args.n, seed=args.seed)
     write_fimi(db, args.out)
     print(f"wrote {describe(db)} to {args.out}")
     return 0
 
 
 def _cmd_stream(args: argparse.Namespace) -> int:
-    from repro.streaming import (
-        DriftingPatternSource,
-        FimiReplaySource,
-        IncrementalPatternFusion,
-    )
+    from repro.streaming import DriftingPatternSource, FimiReplaySource
 
     # Flags that belong to the other source are rejected, not ignored — a
     # silently dropped --transactions or --batches means the telemetry
@@ -391,26 +490,25 @@ def _cmd_stream(args: argparse.Namespace) -> int:
             drift_every=5 if args.drift_every is None else args.drift_every,
             seed=args.seed,
         )
-    config = PatternFusionConfig(
-        k=args.k,
-        tau=args.tau,
-        initial_pool_max_size=args.pool_size,
-        seed=args.seed,
-    )
+    spec = get_miner_spec("stream_fusion")
+    config = spec.config_type.from_dict({
+        "minsup": args.minsup,
+        "window": args.window,
+        "policy": args.policy,
+        "k": args.k,
+        "tau": args.tau,
+        "initial_pool_max_size": args.pool_size,
+        "seed": args.seed,
+    })
     with make_executor(args.jobs) as executor:
-        driver = IncrementalPatternFusion(
-            args.window,
-            args.minsup,
-            config,
-            executor=executor,
-            policy=args.policy,
-        )
-        report = driver.run(source, max_slides=args.max_slides)
+        miner = spec.cls(config, executor=executor)
+        report = miner.run(source, max_slides=args.max_slides)
         if not len(report):
             print("stream produced no transactions", file=sys.stderr)
             return 2
         print(report.format())
         print(report.summary())
+        driver = miner.driver
         shown = driver.largest(args.limit)
         for pattern in shown:
             print(
@@ -431,6 +529,7 @@ def _cmd_stream(args: argparse.Namespace) -> int:
 
 _COMMANDS = {
     "mine": _cmd_mine,
+    "miners": _cmd_miners,
     "fuse": _cmd_fuse,
     "evaluate": _cmd_evaluate,
     "experiment": _cmd_experiment,

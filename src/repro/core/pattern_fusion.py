@@ -25,20 +25,24 @@ from typing import TYPE_CHECKING
 if TYPE_CHECKING:  # engine imports this module; keep the cycle lazy
     from repro.engine.executor import Executor
 
+from repro.api.base import Capabilities, Miner, MinerConfig
+from repro.api.registry import register
 from repro.core.ball_index import PatternBallIndex
 from repro.core.config import PatternFusionConfig
 from repro.core.distance import ball_radius, balls
 from repro.core.fusion import fuse_ball
 from repro.db.transaction_db import TransactionDatabase
 from repro.mining.levelwise import mine_up_to_size
-from repro.mining.results import (
-    MiningResult,
-    Pattern,
-    colossal_rank_key,
-    largest_patterns,
-)
+from repro.mining.results import MiningResult, Pattern, largest_patterns
 
-__all__ = ["IterationStats", "PatternFusionResult", "pattern_fusion", "PatternFusion"]
+__all__ = [
+    "IterationStats",
+    "PatternFusionResult",
+    "pattern_fusion",
+    "PatternFusion",
+    "PatternFusionMinerConfig",
+    "FusionMiner",
+]
 
 
 @dataclass(frozen=True, slots=True)
@@ -240,6 +244,57 @@ class PatternFusion:
             for pattern in fused:
                 fused_by_items.setdefault(pattern.items, pattern)
         return list(fused_by_items.values())
+
+
+@dataclass(frozen=True, slots=True)
+class PatternFusionMinerConfig(MinerConfig, PatternFusionConfig):
+    """Unified-API config: every :class:`PatternFusionConfig` knob + ``minsup``.
+
+    Flattening (rather than nesting the algorithm config) is what lets the
+    CLI address every knob uniformly (``--set tau=0.4``) and keeps the JSON
+    round trip a plain dict.  :meth:`fusion_config` projects back to the
+    algorithm's own config type; validation is inherited, so an invalid knob
+    still fails at construction time.
+    """
+
+    minsup: float | int = 2
+
+    def fusion_config(self) -> PatternFusionConfig:
+        """The algorithm-level config (drops the driver-level knobs)."""
+        from dataclasses import fields
+
+        return PatternFusionConfig(
+            **{f.name: getattr(self, f.name) for f in fields(PatternFusionConfig)}
+        )
+
+
+@register
+class FusionMiner(Miner):
+    """Unified-API adapter over serial :func:`pattern_fusion`.
+
+    Bit-identical to the legacy ``pattern_fusion(db, minsup, config)`` call
+    (the original single-process loop and its RNG stream).  For the
+    engine-scheduled variant — identical output for every worker count, but
+    a *different* (also deterministic) RNG schedule — use the registered
+    ``parallel_pattern_fusion`` miner instead.
+    """
+
+    name = "pattern_fusion"
+    summary = "Pattern-Fusion colossal mining (serial reference driver)"
+    capabilities = Capabilities(colossal=True)
+    config_type = PatternFusionMinerConfig
+
+    def fuse(
+        self, db: TransactionDatabase, initial_pool: list[Pattern] | None = None
+    ) -> PatternFusionResult:
+        """Run and return the full result (history, iteration telemetry)."""
+        config: PatternFusionMinerConfig = self.config  # type: ignore[assignment]
+        return pattern_fusion(
+            db, config.minsup, config.fusion_config(), initial_pool=initial_pool
+        )
+
+    def mine(self, db: TransactionDatabase) -> MiningResult:
+        return self.fuse(db).as_mining_result()
 
 
 def _size_signature(pool: list[Pattern]) -> tuple[tuple[int, int], ...]:

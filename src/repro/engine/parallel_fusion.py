@@ -33,15 +33,24 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass
 
+from repro.api.base import Capabilities, Miner
+from repro.api.registry import register
 from repro.core.ball_index import PatternBallIndex
 from repro.core.config import PatternFusionConfig
 from repro.core.distance import balls
 from repro.core.fusion import fuse_ball
+from repro.core.pattern_fusion import PatternFusionMinerConfig
 from repro.db.transaction_db import TransactionDatabase
 from repro.engine.executor import Executor, make_executor, map_chunks, worker_payload
-from repro.mining.results import Pattern
+from repro.mining.results import MiningResult, Pattern
 
-__all__ = ["parallel_pattern_fusion", "parallel_fusion_round", "FusionTask"]
+__all__ = [
+    "parallel_pattern_fusion",
+    "parallel_fusion_round",
+    "FusionTask",
+    "ParallelFusionConfig",
+    "ParallelFusionMiner",
+]
 
 # Child seeds are drawn from the driver RNG in this range; 63 bits keeps
 # them exact ints everywhere and disjoint from the "no seed" sentinel.
@@ -180,3 +189,55 @@ def parallel_pattern_fusion(
     finally:
         if owns_executor:
             executor.close()
+
+
+@dataclass(frozen=True, slots=True)
+class ParallelFusionConfig(PatternFusionMinerConfig):
+    """Engine-driver knobs: the fusion config + ``minsup`` + ``jobs``."""
+
+    jobs: int = 1
+
+    def __post_init__(self) -> None:
+        # Explicit base call: zero-arg super() is broken inside slots=True
+        # dataclasses (the decorator rebuilds the class, orphaning the
+        # __class__ cell).
+        PatternFusionConfig.__post_init__(self)
+        if self.jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {self.jobs}")
+
+
+@register
+class ParallelFusionMiner(Miner):
+    """Unified-API adapter over :func:`parallel_pattern_fusion`.
+
+    Always schedules through the engine, so the mined pool is a function of
+    ``config.seed`` alone — identical for every ``jobs`` value (and for an
+    explicitly supplied warm ``executor``, which takes precedence over
+    ``jobs``; the experiment runners reuse one across sweep points).
+    """
+
+    name = "parallel_pattern_fusion"
+    summary = "Pattern-Fusion with per-seed work fanned over worker processes"
+    capabilities = Capabilities(colossal=True, parallel=True)
+    config_type = ParallelFusionConfig
+
+    def __init__(self, config=None, *, executor: Executor | None = None, **overrides):
+        super().__init__(config, **overrides)
+        self.executor = executor
+
+    def fuse(
+        self, db: TransactionDatabase, initial_pool: list[Pattern] | None = None
+    ):
+        """Run and return the full result (history, iteration telemetry)."""
+        config: ParallelFusionConfig = self.config  # type: ignore[assignment]
+        return parallel_pattern_fusion(
+            db,
+            config.minsup,
+            config.fusion_config(),
+            jobs=config.jobs,
+            initial_pool=initial_pool,
+            executor=self.executor,
+        )
+
+    def mine(self, db: TransactionDatabase) -> MiningResult:
+        return self.fuse(db).as_mining_result()

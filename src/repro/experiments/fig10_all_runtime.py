@@ -13,12 +13,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core import PatternFusionConfig, pattern_fusion
+from repro.api import get_miner_spec
 from repro.datasets.microarray import all_like
 from repro.engine import make_executor
 from repro.experiments.base import ExperimentResult, timed
-from repro.mining.maximal import maximal_patterns
-from repro.mining.topk import top_k_closed
 
 __all__ = ["Fig10Config", "run"]
 
@@ -46,6 +44,10 @@ def run(config: Fig10Config | None = None, jobs: int = 1) -> ExperimentResult:
     runs the same engine scheduling on a serial executor).
     """
     config = config or Fig10Config()
+    # All three miners resolve through the central registry; the fusion
+    # miner reuses one warm executor across the whole support sweep.
+    maximal_spec = get_miner_spec("maximal")
+    fusion_spec = get_miner_spec("parallel_pattern_fusion")
     executor = make_executor(jobs)
     db, _truth = all_like(seed=config.dataset_seed)
     result = ExperimentResult(
@@ -60,21 +62,24 @@ def run(config: Fig10Config | None = None, jobs: int = 1) -> ExperimentResult:
     )
     try:
         for minsup in config.minsups:
+            maximal_miner = maximal_spec.cls(
+                minsup=minsup, max_seconds=config.baseline_timeout
+            )
             maximal_outcome = timed(
-                lambda m=minsup: maximal_patterns(
-                    db, m, max_seconds=config.baseline_timeout
-                )
+                lambda miner=maximal_miner: miner.mine(db)
             )
             topk_outcome = timed(
                 lambda m=minsup: _topk_at_floor(db, config, m)
             )
-            fusion_config = PatternFusionConfig(
+            fusion_miner = fusion_spec.cls(
+                minsup=minsup,
                 k=config.k,
                 tau=config.tau,
                 initial_pool_max_size=config.initial_pool_max_size,
                 seed=config.seed + minsup,
+                executor=executor,
             )
-            fusion = pattern_fusion(db, minsup, fusion_config, executor=executor)
+            fusion = fusion_miner.fuse(db)
             result.add_row(
                 minsup,
                 maximal_outcome.seconds,
@@ -103,10 +108,10 @@ def _topk_at_floor(db, config: Fig10Config, minsup: int):
     decreasing the threshold unlocks exactly the tiers that blow up the
     complete miners.
     """
-    return top_k_closed(
-        db,
+    miner = get_miner_spec("topk").cls(
         k=config.topk_k,
         min_size=config.topk_min_size,
         initial_minsup=minsup,
         max_seconds=config.baseline_timeout,
     )
+    return miner.mine(db)

@@ -13,11 +13,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.core import PatternFusionConfig, pattern_fusion
+from repro.api import get_miner_spec
 from repro.datasets.diag import diag, diag_default_minsup, diag_n_maximal_patterns
 from repro.engine import make_executor
 from repro.experiments.base import ExperimentResult, timed
-from repro.mining.maximal import maximal_patterns
 
 __all__ = ["Fig6Config", "run"]
 
@@ -44,6 +43,10 @@ def run(config: Fig6Config | None = None, jobs: int = 1) -> ExperimentResult:
     runs the same engine scheduling on a serial executor).
     """
     config = config or Fig6Config()
+    # Both miners resolve through the central registry; the fusion miner is
+    # handed a warm executor so every sweep point reuses one worker pool.
+    maximal_spec = get_miner_spec("maximal")
+    fusion_spec = get_miner_spec("parallel_pattern_fusion")
     executor = make_executor(jobs)
     result = ExperimentResult(
         experiment_id="fig6",
@@ -60,10 +63,11 @@ def run(config: Fig6Config | None = None, jobs: int = 1) -> ExperimentResult:
     for n in config.baseline_sizes:
         minsup = diag_default_minsup(n)
         db = diag(n)
+        miner = maximal_spec.cls(
+            minsup=minsup, max_seconds=config.baseline_timeout
+        )
         outcome = timed(
-            lambda db=db, minsup=minsup: maximal_patterns(
-                db, minsup, max_seconds=config.baseline_timeout
-            ),
+            lambda db=db, miner=miner: miner.mine(db),
             config.baseline_timeout,
         )
         baseline_times[n] = outcome.seconds
@@ -72,13 +76,15 @@ def run(config: Fig6Config | None = None, jobs: int = 1) -> ExperimentResult:
         for n in config.fusion_sizes:
             minsup = diag_default_minsup(n)
             db = diag(n)
-            fusion_config = PatternFusionConfig(
+            fusion_miner = fusion_spec.cls(
+                minsup=minsup,
                 k=config.k,
                 tau=config.tau,
                 initial_pool_max_size=config.fusion_pool_max_size,
                 seed=config.seed,
+                executor=executor,
             )
-            fusion = pattern_fusion(db, minsup, fusion_config, executor=executor)
+            fusion = fusion_miner.fuse(db)
             largest = fusion.largest(1)[0].size if fusion.patterns else 0
             fusion_times[n] = (fusion.elapsed_seconds, largest)
     finally:

@@ -17,7 +17,7 @@ from repro.core import PatternFusion, PatternFusionConfig
 from repro.datasets.replace import replace_like
 from repro.evaluation.approximation import approximation_error
 from repro.experiments.base import ExperimentResult
-from repro.mining.closed import closed_patterns
+from repro.api import create_miner
 
 __all__ = ["Fig8Config", "run"]
 
@@ -39,7 +39,7 @@ def run(config: Fig8Config | None = None) -> ExperimentResult:
     """Reproduce Figure 8: Δ(AP_Q) vs min pattern size, one series per K."""
     config = config or Fig8Config()
     db, truth = replace_like(config.n_transactions, seed=config.dataset_seed)
-    complete = closed_patterns(db, truth.minsup_absolute)
+    complete = create_miner("closed", minsup=truth.minsup_absolute).mine(db)
     result = ExperimentResult(
         experiment_id="fig8",
         title="Approximation error on Replace-sim (sigma=0.03)",

@@ -16,7 +16,7 @@ from repro.core import PatternFusion, PatternFusionConfig
 from repro.datasets.microarray import all_like
 from repro.evaluation.report import recovery_by_size
 from repro.experiments.base import ExperimentResult
-from repro.mining.closed import closed_patterns
+from repro.api import create_miner
 
 __all__ = ["Fig9Config", "run"]
 
@@ -41,7 +41,7 @@ def run(config: Fig9Config | None = None) -> ExperimentResult:
     """Reproduce Figure 9: complete-set vs Pattern-Fusion counts per size."""
     config = config or Fig9Config()
     db, _truth = all_like(seed=config.dataset_seed)
-    complete = closed_patterns(db, config.minsup)
+    complete = create_miner("closed", minsup=config.minsup).mine(db)
     fusion = PatternFusion(
         db,
         config.minsup,

@@ -2,7 +2,9 @@
 
 The CLI (``python -m repro experiment <id>``) and the benchmark harness both
 dispatch through this table, so the set of reproducible artifacts is defined
-in exactly one place.
+in exactly one place.  The runners themselves resolve their miners through
+the central miner registry (:data:`repro.api.registry.MINERS`) — the
+experiment table names *artifacts*, the miner table names *algorithms*.
 """
 
 from __future__ import annotations

@@ -27,7 +27,8 @@ from repro.core.pattern_fusion import PatternFusion
 from repro.datasets.diag import diag_plus
 from repro.engine.executor import make_executor
 from repro.experiments.base import ExperimentResult
-from repro.streaming.incremental import IncrementalPatternFusion, slide_seed
+from repro.api import get_miner_spec
+from repro.streaming.incremental import slide_seed
 from repro.streaming.sources import ReplaySource
 
 __all__ = ["StreamReplayConfig", "run"]
@@ -78,14 +79,19 @@ def run(config: StreamReplayConfig | None = None, jobs: int = 1) -> ExperimentRe
     )
     incremental_total = 0.0
     full_total = 0.0
+    stream_spec = get_miner_spec("stream_fusion")
     with make_executor(jobs) as executor:
-        driver = IncrementalPatternFusion(
-            config.window,
-            config.minsup,
-            fusion_config,
-            executor=executor,
+        miner = stream_spec.cls(
+            minsup=config.minsup,
+            window=config.window,
             policy=config.policy,
+            k=config.k,
+            tau=config.tau,
+            initial_pool_max_size=config.pool_max_size,
+            seed=config.seed,
+            executor=executor,
         )
+        driver = miner.driver
         for index, batch in enumerate(ReplaySource(rows, config.batch)):
             stats = driver.slide(batch)
             snapshot = driver.window.snapshot()

@@ -15,10 +15,34 @@ agreement tests triangulate all three.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
+from repro.api.base import Capabilities, Miner, MinerConfig
+from repro.api.registry import register
 from repro.db.transaction_db import TransactionDatabase
 from repro.mining.results import MiningResult, Pattern, Stopwatch
 
-__all__ = ["aclose", "frequent_generators"]
+__all__ = ["aclose", "frequent_generators", "ACloseConfig", "ACloseMiner"]
+
+
+@dataclass(frozen=True, slots=True)
+class ACloseConfig(MinerConfig):
+    """Knobs of :func:`aclose` (see its docstring for semantics)."""
+
+    minsup: float | int = 2
+
+
+@register
+class ACloseMiner(Miner):
+    """Unified-API adapter over :func:`aclose`."""
+
+    name = "aclose"
+    summary = "closed mining via level-wise frequent generators"
+    capabilities = Capabilities(closed=True)
+    config_type = ACloseConfig
+
+    def mine(self, db: TransactionDatabase) -> MiningResult:
+        return aclose(db, self.config.minsup)
 
 
 def aclose(db: TransactionDatabase, minsup: float | int) -> MiningResult:

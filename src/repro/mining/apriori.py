@@ -9,10 +9,35 @@ strategy whose exponential mid-size blow-up motivates Pattern-Fusion.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
+from repro.api.base import Capabilities, Miner, MinerConfig
+from repro.api.registry import register
 from repro.db.transaction_db import TransactionDatabase
 from repro.mining.results import MiningResult, Pattern, Stopwatch
 
-__all__ = ["apriori"]
+__all__ = ["apriori", "AprioriConfig", "AprioriMiner"]
+
+
+@dataclass(frozen=True, slots=True)
+class AprioriConfig(MinerConfig):
+    """Knobs of :func:`apriori` (see its docstring for semantics)."""
+
+    minsup: float | int = 2
+    max_size: int | None = None
+
+
+@register
+class AprioriMiner(Miner):
+    """Unified-API adapter over :func:`apriori`."""
+
+    name = "apriori"
+    summary = "breadth-first complete mining with candidate generation"
+    capabilities = Capabilities(complete=True)
+    config_type = AprioriConfig
+
+    def mine(self, db: TransactionDatabase) -> MiningResult:
+        return apriori(db, self.config.minsup, self.config.max_size)
 
 
 def apriori(

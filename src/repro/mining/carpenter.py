@@ -15,11 +15,35 @@ empty or when even taking every remaining row cannot reach ``minsup`` rows.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
+from repro.api.base import Capabilities, Miner, MinerConfig
+from repro.api.registry import register
 from repro.db import bitset
 from repro.db.transaction_db import TransactionDatabase
 from repro.mining.results import MiningResult, Pattern, Stopwatch
 
-__all__ = ["carpenter_closed_patterns"]
+__all__ = ["carpenter_closed_patterns", "CarpenterConfig", "CarpenterMiner"]
+
+
+@dataclass(frozen=True, slots=True)
+class CarpenterConfig(MinerConfig):
+    """Knobs of :func:`carpenter_closed_patterns`."""
+
+    minsup: float | int = 2
+
+
+@register
+class CarpenterMiner(Miner):
+    """Unified-API adapter over :func:`carpenter_closed_patterns`."""
+
+    name = "carpenter"
+    summary = "closed mining by row enumeration (few rows, many items)"
+    capabilities = Capabilities(closed=True)
+    config_type = CarpenterConfig
+
+    def mine(self, db: TransactionDatabase) -> MiningResult:
+        return carpenter_closed_patterns(db, self.config.minsup)
 
 
 def carpenter_closed_patterns(

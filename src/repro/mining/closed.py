@@ -13,11 +13,35 @@ oracle for E2/E3/E4.
 from __future__ import annotations
 
 from collections.abc import Iterator
+from dataclasses import dataclass
 
+from repro.api.base import Capabilities, Miner, MinerConfig
+from repro.api.registry import register
 from repro.db.transaction_db import TransactionDatabase
 from repro.mining.results import MiningResult, Pattern, Stopwatch
 
-__all__ = ["closed_patterns", "iter_closed_patterns"]
+__all__ = ["closed_patterns", "iter_closed_patterns", "ClosedConfig", "ClosedMiner"]
+
+
+@dataclass(frozen=True, slots=True)
+class ClosedConfig(MinerConfig):
+    """Knobs of :func:`closed_patterns` (see its docstring for semantics)."""
+
+    minsup: float | int = 2
+    max_patterns: int | None = None
+
+
+@register
+class ClosedMiner(Miner):
+    """Unified-API adapter over :func:`closed_patterns`."""
+
+    name = "closed"
+    summary = "LCM-style ppc-extension enumeration of the closed set"
+    capabilities = Capabilities(closed=True)
+    config_type = ClosedConfig
+
+    def mine(self, db: TransactionDatabase) -> MiningResult:
+        return closed_patterns(db, self.config.minsup, self.config.max_patterns)
 
 
 def closed_patterns(

@@ -9,10 +9,35 @@ this the fastest complete miner in the package and the default engine behind
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
+from repro.api.base import Capabilities, Miner, MinerConfig
+from repro.api.registry import register
 from repro.db.transaction_db import TransactionDatabase
 from repro.mining.results import MiningResult, Pattern, Stopwatch
 
-__all__ = ["eclat"]
+__all__ = ["eclat", "EclatConfig", "EclatMiner"]
+
+
+@dataclass(frozen=True, slots=True)
+class EclatConfig(MinerConfig):
+    """Knobs of :func:`eclat` (see its docstring for semantics)."""
+
+    minsup: float | int = 2
+    max_size: int | None = None
+
+
+@register
+class EclatMiner(Miner):
+    """Unified-API adapter over :func:`eclat`."""
+
+    name = "eclat"
+    summary = "depth-first complete mining over vertical tidset bitmasks"
+    capabilities = Capabilities(complete=True)
+    config_type = EclatConfig
+
+    def mine(self, db: TransactionDatabase) -> MiningResult:
+        return eclat(db, self.config.minsup, self.config.max_size)
 
 
 def eclat(

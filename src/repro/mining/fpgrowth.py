@@ -15,11 +15,35 @@ miner's output is directly comparable — at a small, measured cost.
 from __future__ import annotations
 
 from collections.abc import Iterable
+from dataclasses import dataclass
 
+from repro.api.base import Capabilities, Miner, MinerConfig
+from repro.api.registry import register
 from repro.db.transaction_db import TransactionDatabase
 from repro.mining.results import MiningResult, Pattern, Stopwatch
 
-__all__ = ["fpgrowth", "FPTree"]
+__all__ = ["fpgrowth", "FPTree", "FPGrowthConfig", "FPGrowthMiner"]
+
+
+@dataclass(frozen=True, slots=True)
+class FPGrowthConfig(MinerConfig):
+    """Knobs of :func:`fpgrowth` (see its docstring for semantics)."""
+
+    minsup: float | int = 2
+    max_size: int | None = None
+
+
+@register
+class FPGrowthMiner(Miner):
+    """Unified-API adapter over :func:`fpgrowth`."""
+
+    name = "fpgrowth"
+    summary = "complete mining over an FP-tree, no candidate generation"
+    capabilities = Capabilities(complete=True)
+    config_type = FPGrowthConfig
+
+    def mine(self, db: TransactionDatabase) -> MiningResult:
+        return fpgrowth(db, self.config.minsup, self.config.max_size)
 
 
 class _Node:

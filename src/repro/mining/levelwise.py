@@ -10,11 +10,41 @@ pool of 820 patterns of size ≤ 2").
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
+from repro.api.base import Capabilities, Miner, MinerConfig
+from repro.api.registry import register
 from repro.db.transaction_db import TransactionDatabase
 from repro.mining.eclat import eclat
 from repro.mining.results import MiningResult
 
-__all__ = ["mine_up_to_size", "expected_pool_size_upper_bound"]
+__all__ = [
+    "mine_up_to_size",
+    "expected_pool_size_upper_bound",
+    "LevelwiseConfig",
+    "LevelwiseMiner",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class LevelwiseConfig(MinerConfig):
+    """Knobs of :func:`mine_up_to_size` (the phase-1 pool miner)."""
+
+    minsup: float | int = 2
+    max_size: int = 3
+
+
+@register
+class LevelwiseMiner(Miner):
+    """Unified-API adapter over :func:`mine_up_to_size`."""
+
+    name = "levelwise"
+    summary = "complete mining capped at a pattern size (phase-1 pool)"
+    capabilities = Capabilities(complete=True)
+    config_type = LevelwiseConfig
+
+    def mine(self, db: TransactionDatabase) -> MiningResult:
+        return mine_up_to_size(db, self.config.minsup, self.config.max_size)
 
 
 def mine_up_to_size(

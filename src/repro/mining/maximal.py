@@ -17,10 +17,35 @@ search is *inherently* exponential — demonstrating that is the point of E1.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
+from repro.api.base import Capabilities, Miner, MinerConfig
+from repro.api.registry import register
 from repro.db.transaction_db import TransactionDatabase
 from repro.mining.results import MiningResult, Pattern, Stopwatch
 
-__all__ = ["maximal_patterns"]
+__all__ = ["maximal_patterns", "MaximalConfig", "MaximalMiner"]
+
+
+@dataclass(frozen=True, slots=True)
+class MaximalConfig(MinerConfig):
+    """Knobs of :func:`maximal_patterns` (see its docstring for semantics)."""
+
+    minsup: float | int = 2
+    max_seconds: float | None = None
+
+
+@register
+class MaximalMiner(Miner):
+    """Unified-API adapter over :func:`maximal_patterns`."""
+
+    name = "maximal"
+    summary = "GenMax-style maximal mining with lookahead/subsumption prunes"
+    capabilities = Capabilities(maximal=True)
+    config_type = MaximalConfig
+
+    def mine(self, db: TransactionDatabase) -> MiningResult:
+        return maximal_patterns(db, self.config.minsup, self.config.max_seconds)
 
 
 class _BudgetExceeded(Exception):

@@ -16,11 +16,40 @@ from __future__ import annotations
 
 import heapq
 import time
+from dataclasses import dataclass
 
+from repro.api.base import Capabilities, Miner, MinerConfig
+from repro.api.registry import register
 from repro.db.transaction_db import TransactionDatabase
 from repro.mining.results import MiningResult, Pattern, Stopwatch
 
-__all__ = ["top_k_closed"]
+__all__ = ["top_k_closed", "TopKConfig", "TopKMiner"]
+
+
+@dataclass(frozen=True, slots=True)
+class TopKConfig(MinerConfig):
+    """Knobs of :func:`top_k_closed` (see its docstring for semantics)."""
+
+    k: int = 100
+    min_size: int = 1
+    initial_minsup: int = 1
+    max_seconds: float | None = None
+
+
+@register
+class TopKMiner(Miner):
+    """Unified-API adapter over :func:`top_k_closed`."""
+
+    name = "topk"
+    summary = "TFP-style top-k closed mining with a dynamic support bound"
+    capabilities = Capabilities(closed=True, top_k=True)
+    config_type = TopKConfig
+
+    def mine(self, db: TransactionDatabase) -> MiningResult:
+        cfg = self.config
+        return top_k_closed(
+            db, cfg.k, cfg.min_size, cfg.initial_minsup, cfg.max_seconds
+        )
 
 
 class _BudgetExceeded(Exception):

@@ -24,9 +24,14 @@ import random
 import time
 from dataclasses import dataclass, field
 
+from repro.api.base import Capabilities, Miner
+from repro.api.registry import register
 from repro.core.config import PatternFusionConfig
 from repro.core.distance import ball_radius, tidset_distance
+from repro.core.pattern_fusion import PatternFusionMinerConfig
 from repro.db import bitset
+from repro.db.transaction_db import TransactionDatabase
+from repro.mining.results import MiningResult, Pattern
 from repro.sequences.prefixspan import prefixspan
 from repro.sequences.results import SequencePattern
 from repro.sequences.sequence_db import SequenceDatabase
@@ -36,6 +41,8 @@ __all__ = [
     "common_pattern_of_tidset",
     "SequenceFusionResult",
     "sequence_pattern_fusion",
+    "SequenceFusionConfig",
+    "SequenceFusionMiner",
 ]
 
 
@@ -233,3 +240,57 @@ def _greedy_fuse(
     # The common pattern may be supported even beyond the fused tidset.
     full_tidset = db.tidset(pattern)
     return SequencePattern(sequence=pattern, tidset=full_tidset)
+
+
+class SequenceFusionConfig(PatternFusionMinerConfig):
+    """Sequence-fusion knobs: identical to the itemset driver's.
+
+    ``close_fused`` is carried but implicit here — the common-subsequence
+    step *is* the closure analogue and is always applied (see
+    :func:`sequence_pattern_fusion`).
+    """
+
+
+@register
+class SequenceFusionMiner(Miner):
+    """Unified-API adapter over :func:`sequence_pattern_fusion`.
+
+    Accepts a :class:`SequenceDatabase` directly; a
+    :class:`~repro.db.transaction_db.TransactionDatabase` is adapted by
+    reading each transaction as the ascending sequence of its items (the
+    canonical itemset → sequence embedding), which is what makes the miner
+    drivable from ``repro mine`` on FIMI inputs.
+
+    :meth:`mine` projects the result onto the uniform
+    :class:`~repro.mining.results.MiningResult` (a sequence becomes its item
+    set; order — and nothing else — is dropped).  Use :meth:`mine_sequences`
+    for the full ordered result.
+    """
+
+    name = "sequence_fusion"
+    summary = "Pattern-Fusion over sequences (LCS-fold fusion, PrefixSpan pool)"
+    capabilities = Capabilities(colossal=True, sequences=True)
+    config_type = SequenceFusionConfig
+
+    def mine_sequences(
+        self, db: "SequenceDatabase | TransactionDatabase"
+    ) -> SequenceFusionResult:
+        """Run on a sequence (or adapted transaction) database."""
+        if isinstance(db, TransactionDatabase):
+            db = SequenceDatabase(
+                [sorted(row) for row in db.transactions], n_items=db.n_items
+            )
+        config: SequenceFusionConfig = self.config  # type: ignore[assignment]
+        return sequence_pattern_fusion(db, config.minsup, config.fusion_config())
+
+    def mine(self, db: "SequenceDatabase | TransactionDatabase") -> MiningResult:
+        result = self.mine_sequences(db)
+        return MiningResult(
+            algorithm="sequence-fusion",
+            minsup=result.minsup,
+            patterns=[
+                Pattern(items=frozenset(p.sequence), tidset=p.tidset)
+                for p in result.patterns
+            ],
+            elapsed_seconds=result.elapsed_seconds,
+        )

@@ -34,16 +34,31 @@ from __future__ import annotations
 
 import time
 from collections.abc import Iterable
+from dataclasses import dataclass
 
+from repro.api.base import Capabilities, Miner
+from repro.api.registry import register
 from repro.core.config import PatternFusionConfig
-from repro.core.pattern_fusion import PatternFusion
-from repro.engine.executor import Executor, SerialExecutor, map_chunks, worker_payload
+from repro.core.pattern_fusion import PatternFusion, PatternFusionMinerConfig
+from repro.db.transaction_db import TransactionDatabase
+from repro.engine.executor import (
+    Executor,
+    SerialExecutor,
+    make_executor,
+    map_chunks,
+    worker_payload,
+)
 from repro.mining.levelwise import mine_up_to_size
-from repro.mining.results import Pattern, largest_patterns
+from repro.mining.results import MiningResult, Pattern, largest_patterns
 from repro.streaming.report import DriftReport, SlideStats
 from repro.streaming.window import SlidingWindowDatabase
 
-__all__ = ["IncrementalPatternFusion", "slide_seed"]
+__all__ = [
+    "IncrementalPatternFusion",
+    "slide_seed",
+    "StreamFusionConfig",
+    "StreamFusionMiner",
+]
 
 _MASK64 = (1 << 64) - 1
 
@@ -406,3 +421,141 @@ class IncrementalPatternFusion:
                     max_size,
                 )
         return births
+
+
+@dataclass(frozen=True, slots=True)
+class StreamFusionConfig(PatternFusionMinerConfig):
+    """Streaming-driver knobs: the fusion config + window/policy/jobs.
+
+    ``window`` is the sliding-window capacity in transactions (``None``
+    grows without bound); ``minsup`` is resolved against the window on every
+    slide, exactly as :class:`IncrementalPatternFusion` documents.
+    """
+
+    window: int | None = None
+    policy: str = "auto"
+    jobs: int = 1
+
+    def __post_init__(self) -> None:
+        # Explicit base call: zero-arg super() is broken inside slots=True
+        # dataclasses (the decorator rebuilds the class, orphaning the
+        # __class__ cell).
+        PatternFusionConfig.__post_init__(self)
+        if self.window is not None and self.window < 1:
+            raise ValueError(f"window must be >= 1 or None, got {self.window}")
+        if self.policy not in ("auto", "always"):
+            raise ValueError(f"policy must be 'auto' or 'always', got {self.policy!r}")
+        if self.jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {self.jobs}")
+
+
+@register
+class StreamFusionMiner(Miner):
+    """Unified-API adapter over :class:`IncrementalPatternFusion`.
+
+    The streaming lifecycle: :meth:`update` ingests one batch (one window
+    slide), :meth:`partial_mine` ingests and returns the current pool, and
+    :meth:`run` drains a batch source.  The one-shot :meth:`mine` treats the
+    whole database as a single arriving batch on a *fresh* driver — for a
+    database no larger than ``config.window`` that is exactly a cold
+    engine-scheduled Pattern-Fusion run with the slide-0 seed
+    (``slide_seed(config.seed, 0)``), which the agreement tests pin.
+
+    Pass ``executor=`` to drive the batched revalidation and re-fusions
+    through a shared worker pool (it takes precedence over ``config.jobs``
+    and its lifetime stays with the caller); otherwise one is created from
+    ``config.jobs`` and closed by :meth:`close`.
+    """
+
+    name = "stream_fusion"
+    summary = "incremental Pattern-Fusion over a sliding transaction window"
+    capabilities = Capabilities(colossal=True, streaming=True, parallel=True)
+    config_type = StreamFusionConfig
+
+    def __init__(self, config=None, *, executor: Executor | None = None, **overrides):
+        super().__init__(config, **overrides)
+        self._executor = executor
+        self._owns_executor = False
+        self._driver: IncrementalPatternFusion | None = None
+
+    def _new_driver(self, executor: Executor) -> IncrementalPatternFusion:
+        """A fresh driver wired to this miner's config (single source)."""
+        config: StreamFusionConfig = self.config  # type: ignore[assignment]
+        return IncrementalPatternFusion(
+            config.window,
+            config.minsup,
+            config.fusion_config(),
+            executor=executor,
+            policy=config.policy,
+        )
+
+    @staticmethod
+    def _result_of(driver: IncrementalPatternFusion) -> MiningResult:
+        """A driver's current fused pool as a uniform :class:`MiningResult`."""
+        window = driver.window
+        return MiningResult(
+            algorithm="stream-fusion",
+            minsup=window.absolute_minsup(driver.minsup) if len(window) else 0,
+            patterns=driver.patterns,
+            elapsed_seconds=sum(s.seconds for s in driver.report.slides),
+        )
+
+    @property
+    def driver(self) -> IncrementalPatternFusion:
+        """The underlying incremental driver (created on first use)."""
+        if self._driver is None:
+            config: StreamFusionConfig = self.config  # type: ignore[assignment]
+            executor = self._executor
+            if executor is None:
+                executor = make_executor(config.jobs)
+                self._executor = executor
+                self._owns_executor = True
+            self._driver = self._new_driver(executor)
+        return self._driver
+
+    @property
+    def report(self) -> DriftReport:
+        """Per-slide telemetry recorded so far."""
+        return self.driver.report
+
+    def update(self, batch: Iterable[Iterable[int]]) -> SlideStats:
+        """Ingest one batch (one window slide); returns its telemetry."""
+        return self.driver.slide(batch)
+
+    def partial_mine(self, batch: Iterable[Iterable[int]]) -> MiningResult:
+        """Ingest one batch and return the current fused pool."""
+        self.update(batch)
+        return self.result()
+
+    def run(
+        self,
+        source: Iterable[list[list[int]]],
+        max_slides: int | None = None,
+    ) -> DriftReport:
+        """Drain a batch source through the driver (see its ``run``)."""
+        return self.driver.run(source, max_slides=max_slides)
+
+    def result(self) -> MiningResult:
+        """The current fused pool as a uniform :class:`MiningResult`."""
+        return self._result_of(self.driver)
+
+    def mine(self, db: TransactionDatabase) -> MiningResult:
+        """One-shot run: the whole database arrives as a single batch."""
+        config: StreamFusionConfig = self.config  # type: ignore[assignment]
+        executor = self._executor
+        owns = executor is None
+        executor = executor if executor is not None else make_executor(config.jobs)
+        try:
+            driver = self._new_driver(executor)
+            driver.slide(db.transactions)
+            return self._result_of(driver)
+        finally:
+            if owns:
+                executor.close()
+
+    def close(self) -> None:
+        """Release the worker pool, if this miner created one."""
+        if self._owns_executor and self._executor is not None:
+            self._executor.close()
+            self._executor = None
+            self._owns_executor = False

@@ -273,3 +273,110 @@ class TestExperimentCommand:
         monkeypatch.setitem(registry_module.REGISTRY, "fig6", fast)
         assert main(["experiment", "fig6", "--jobs", "2"]) == 0
         assert "2 worker processes" in capsys.readouterr().out
+
+
+class TestMinersListing:
+    def test_table_lists_every_registered_miner(self, capsys):
+        from repro.api import miner_names
+
+        assert main(["miners"]) == 0
+        out = capsys.readouterr().out
+        for name in miner_names():
+            assert name in out
+        assert "CAPABILITIES" in out
+        assert "colossal" in out
+
+    def test_json_listing_carries_schemas(self, capsys):
+        import json
+
+        assert main(["miners", "--json"]) == 0
+        listing = json.loads(capsys.readouterr().out)
+        by_name = {entry["name"]: entry for entry in listing}
+        assert "eclat" in by_name
+        assert by_name["eclat"]["capabilities"] == ["complete"]
+        assert "minsup" in by_name["eclat"]["config"]
+        assert by_name["parallel_pattern_fusion"]["config"]["jobs"]["default"] == 1
+        assert "streaming" in by_name["stream_fusion"]["capabilities"]
+
+
+class TestMinerFlag:
+    def test_unknown_miner_is_a_crisp_error(self, dat_file, capsys):
+        code = main(["mine", "--input", str(dat_file), "--minsup", "2",
+                     "--miner", "sphinx"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "unknown miner 'sphinx'" in err
+        assert "eclat" in err  # the message lists the registered names
+
+    def test_unknown_set_key_is_a_crisp_error(self, dat_file, capsys):
+        code = main(["mine", "--input", str(dat_file), "--minsup", "2",
+                     "--miner", "eclat", "--set", "no_such_knob=1"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "no_such_knob" in err
+        assert "max_size" in err  # and names the valid knobs
+
+    def test_malformed_set_pair_is_a_crisp_error(self, dat_file, capsys):
+        code = main(["mine", "--input", str(dat_file), "--minsup", "2",
+                     "--miner", "eclat", "--set", "minsup"])
+        assert code == 2
+        assert "KEY=VALUE" in capsys.readouterr().err
+
+    def test_invalid_knob_value_is_a_crisp_error(self, dat_file, capsys):
+        code = main(["mine", "--input", str(dat_file), "--minsup", "2",
+                     "--miner", "pattern_fusion", "--set", "tau=7"])
+        assert code == 2
+        assert "tau" in capsys.readouterr().err
+
+    def test_missing_minsup_is_a_crisp_error(self, dat_file, capsys):
+        code = main(["mine", "--input", str(dat_file), "--miner", "eclat"])
+        assert code == 2
+        assert "requires --minsup" in capsys.readouterr().err
+
+    def test_set_overrides_minsup_flag(self, dat_file, capsys):
+        code = main(["mine", "--input", str(dat_file), "--miner", "eclat",
+                     "--minsup", "1", "--set", "minsup=3"])
+        assert code == 0
+        assert "patterns at minsup 3" in capsys.readouterr().out
+
+    def test_set_values_parse_as_json(self, dat_file, capsys):
+        code = main(["mine", "--input", str(dat_file), "--minsup", "1",
+                     "--miner", "eclat", "--set", "max_size=2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "patterns at minsup 1" in out
+        # a max_size cap of 2 must not print any size-3 pattern
+        assert not any(line.startswith("  size   3") for line in out.splitlines())
+
+    def test_topk_without_minsup(self, dat_file, capsys):
+        code = main(["mine", "--input", str(dat_file), "--miner", "topk",
+                     "--set", "k=2"])
+        assert code == 0
+        assert "topk: 2 patterns" in capsys.readouterr().out
+
+    def test_fusion_miner_via_mine(self, dat_file, capsys):
+        code = main(["mine", "--input", str(dat_file), "--minsup", "2",
+                     "--miner", "pattern_fusion", "--set", "k=5",
+                     "--set", "seed=0", "--set", "initial_pool_max_size=2"])
+        assert code == 0
+        assert "pattern-fusion:" in capsys.readouterr().out
+
+    def test_streaming_miner_bounded_window_skips_audit(self, tmp_path, capsys):
+        # Window-local supports must not be recounted against the full
+        # database — that audit would flag every pattern as a mismatch.
+        path = tmp_path / "long.dat"
+        path.write_text("\n".join(["0 1 2"] * 30) + "\n")
+        code = main(["mine", "--input", str(path), "--minsup", "2",
+                     "--miner", "stream_fusion", "--set", "window=10",
+                     "--set", "k=5", "--set", "seed=0", "--shards", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "sharded audit skipped" in out
+        assert "10-row window" in out
+
+    def test_streaming_miner_unbounded_window_audits(self, dat_file, capsys):
+        code = main(["mine", "--input", str(dat_file), "--minsup", "2",
+                     "--miner", "stream_fusion", "--set", "k=5",
+                     "--set", "seed=0", "--shards", "2"])
+        assert code == 0
+        assert "supports verified" in capsys.readouterr().out

@@ -1,0 +1,148 @@
+"""Pipeline builder: dataset → miner → evaluation → report composition."""
+
+import pytest
+
+from repro.api import Pipeline, create_miner, load_dataset
+from repro.datasets import diag
+from repro.db import TransactionDatabase, write_fimi
+from repro.mining import eclat
+
+
+@pytest.fixture(scope="module")
+def toy_db():
+    rows = [[0, 1, 4], [0, 1], [1, 2], [0, 1, 2], [0, 2, 3], [0, 1, 2, 3]]
+    return TransactionDatabase(rows, n_items=5)
+
+
+class TestLoadDataset:
+    def test_database_passes_through(self, toy_db):
+        assert load_dataset(toy_db) is toy_db
+
+    def test_builtin_by_name(self):
+        db = load_dataset("diag", n=8)
+        assert db.n_transactions == 8
+
+    def test_builtin_name_matches_generator(self):
+        by_name = load_dataset("diag", n=10)
+        direct = diag(10)
+        assert by_name.transactions == direct.transactions
+
+    def test_fimi_path(self, toy_db, tmp_path):
+        path = tmp_path / "toy.dat"
+        write_fimi(toy_db, path)
+        loaded = load_dataset(path)
+        assert sorted(map(sorted, loaded.transactions)) == sorted(
+            map(sorted, toy_db.transactions)
+        )
+        # String paths work too (the CLI hands strings around).
+        assert load_dataset(str(path)).n_transactions == toy_db.n_transactions
+
+    def test_callable(self, toy_db):
+        assert load_dataset(lambda: toy_db) is toy_db
+
+    def test_unknown_name_lists_builtins(self):
+        with pytest.raises(ValueError, match="diag-plus"):
+            load_dataset("not-a-dataset")
+
+    def test_wrong_type_raises(self):
+        with pytest.raises(TypeError):
+            load_dataset(42)
+
+
+class TestPipeline:
+    def test_mining_stage_matches_direct_call(self, toy_db):
+        report = Pipeline().dataset(toy_db).miner("eclat", minsup=2).run()
+        direct = eclat(toy_db, 2)
+        assert {p.items for p in report.result.patterns} == {
+            p.items for p in direct.patterns
+        }
+        assert report.reference is None
+        assert report.approximation is None
+        assert report.elapsed_seconds >= 0
+
+    def test_accepts_ready_miner_instance(self, toy_db):
+        miner = create_miner("closed", minsup=2)
+        report = Pipeline().dataset(toy_db).miner(miner).run()
+        assert report.result.algorithm == "closed"
+
+    def test_ready_miner_rejects_extra_knobs(self, toy_db):
+        miner = create_miner("closed", minsup=2)
+        with pytest.raises(ValueError, match="already carries"):
+            Pipeline().dataset(toy_db).miner(miner, minsup=3)
+
+    def test_evaluation_stage(self, toy_db):
+        report = (
+            Pipeline()
+            .dataset(toy_db)
+            .miner("maximal", minsup=2)
+            .evaluate_against("closed", minsup=2)
+            .run()
+        )
+        assert report.reference is not None
+        assert report.reference.algorithm == "closed"
+        assert report.approximation is not None
+        assert report.approximation.error >= 0.0
+
+    def test_transform_stage(self, toy_db):
+        report = (
+            Pipeline()
+            .dataset(toy_db)
+            .miner("eclat", minsup=2)
+            .transform(
+                lambda result: type(result)(
+                    algorithm=result.algorithm,
+                    minsup=result.minsup,
+                    patterns=[p for p in result.patterns if p.size >= 2],
+                    elapsed_seconds=result.elapsed_seconds,
+                )
+            )
+            .run()
+        )
+        assert all(p.size >= 2 for p in report.result.patterns)
+
+    def test_dataset_by_name(self):
+        report = (
+            Pipeline().dataset("diag", n=8).miner("maximal", minsup=4).run()
+        )
+        assert len(report.result) == 70  # C(8, 4) maximal sets on Diag_8
+
+    def test_format_mentions_the_stages(self, toy_db):
+        report = (
+            Pipeline()
+            .dataset(toy_db)
+            .miner("maximal", minsup=2)
+            .evaluate_against("closed", minsup=2)
+            .run()
+        )
+        text = report.format(limit=3)
+        assert "dataset:" in text
+        assert "maximal:" in text
+        assert "reference (closed)" in text
+        assert "delta(AP_Q)" in text
+
+    def test_run_is_repeatable(self, toy_db):
+        pipeline = Pipeline().dataset(toy_db).miner("eclat", minsup=2)
+        first = pipeline.run()
+        second = pipeline.run()
+        assert {p.items for p in first.result.patterns} == {
+            p.items for p in second.result.patterns
+        }
+
+    def test_missing_stages_raise(self, toy_db):
+        with pytest.raises(ValueError, match="dataset"):
+            Pipeline().miner("eclat", minsup=2).run()
+        with pytest.raises(ValueError, match="mining"):
+            Pipeline().dataset(toy_db).run()
+
+    def test_fusion_pipeline_finds_planted_block(self):
+        report = (
+            Pipeline()
+            .dataset("diag-plus")
+            .miner(
+                "pattern_fusion",
+                minsup=20, k=10, initial_pool_max_size=2, seed=0,
+            )
+            .run()
+        )
+        largest = max(report.result.patterns, key=lambda p: p.size)
+        assert largest.items == frozenset(range(40, 79))
