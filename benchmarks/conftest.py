@@ -10,11 +10,59 @@ Every paper figure gets one benchmark module.  Benchmarks do two jobs:
 Figure experiments are minutes-long end-to-end, so the printed reproduction
 runs exactly once per session (cached here) and the benchmark target times a
 representative slice at a reduced scale.
+
+At session end every pytest-benchmark timing is funnelled through the shared
+trajectory writer (:mod:`repro.experiments.bench_io`): one
+``BENCH_<suite>.json`` per benchmark module at the repository root, suite
+names derived from the module basename (``test_store_bench`` → ``store``,
+``test_fig6_diag_runtime`` → ``fig6_diag_runtime``).  Committing those files
+is what tracks perf across PRs.
 """
 
 from __future__ import annotations
 
+from pathlib import Path
+
 import pytest
+
+from repro.experiments.bench_io import BenchRecord, bench_path, write_bench
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _suite_name(fullname: str) -> str:
+    """Benchmark module basename → suite name for the trajectory file."""
+    module = fullname.split("::", 1)[0]
+    stem = Path(module).stem
+    stem = stem.removeprefix("test_")
+    return stem.removesuffix("_bench") or stem
+
+
+def pytest_sessionfinish(session: pytest.Session) -> None:
+    """Write one BENCH_<suite>.json per benchmarked module (mean seconds)."""
+    bench_session = getattr(session.config, "_benchmarksession", None)
+    if bench_session is None:
+        return
+    suites: dict[str, list[BenchRecord]] = {}
+    for bench in getattr(bench_session, "benchmarks", []):
+        stats = getattr(bench, "stats", None)
+        if stats is None:  # skipped / errored benchmark: nothing was timed
+            continue
+        suites.setdefault(_suite_name(bench.fullname), []).append(
+            BenchRecord(
+                name=bench.name,
+                seconds=stats.mean,
+                meta={
+                    "min": stats.min,
+                    "max": stats.max,
+                    "rounds": stats.rounds,
+                    "group": bench.group,
+                },
+            )
+        )
+    for suite, records in sorted(suites.items()):
+        path = write_bench(bench_path(REPO_ROOT, suite), suite, records)
+        print(f"\nwrote {len(records)} benchmark records to {path}")
 
 
 def run_once(request: pytest.FixtureRequest, key: str, producer):

@@ -1,0 +1,104 @@
+"""Store subsystem benchmarks: persistence, cache, and query hot paths.
+
+Times the four operations a serving deployment leans on — saving a pool,
+reloading it, a warm ``mine_cached`` hit, and indexed queries — over a
+complete ≤2 pool on the Diag generator (thousands of patterns, so the
+payload and index sizes are representative).  Correctness is asserted
+alongside every timing: reloads must be bit-identical and indexed queries
+must equal brute-force filtering.
+
+Session end writes the timings to ``BENCH_store.json`` at the repository
+root (see ``benchmarks/conftest.py``); committing that file is what gives
+the store a perf trajectory across PRs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.datasets import diag
+from repro.mining.levelwise import mine_up_to_size
+from repro.store import (
+    InvertedItemIndex,
+    PatternStore,
+    Query,
+    mine_cached,
+)
+
+MINSUP = 10
+
+
+@pytest.fixture(scope="module")
+def workload(request):
+    def build():
+        db = diag(48)
+        pool = mine_up_to_size(db, MINSUP, 2)
+        return db, pool
+
+    return run_once(request, "store-workload", build)
+
+
+@pytest.fixture(scope="module")
+def warm_store(tmp_path_factory, workload):
+    db, pool = workload
+    store = PatternStore(tmp_path_factory.mktemp("bench-store"))
+    run_id = store.save(pool, db=db, miner="levelwise",
+                        config={"minsup": MINSUP, "max_size": 2})
+    return store, run_id
+
+
+def test_bench_save(benchmark, tmp_path, workload):
+    db, pool = workload
+    store = PatternStore(tmp_path / "store")
+
+    def save():
+        # Content-addressed saves dedup, so the repeated save measures the
+        # full encode+hash path and only the first round pays the writes.
+        return store.save(pool, db=db, miner="levelwise",
+                          config={"minsup": MINSUP, "max_size": 2})
+
+    run_id = benchmark.pedantic(save, rounds=5, iterations=1, warmup_rounds=0)
+    assert run_id in store
+
+
+def test_bench_load_bit_identical(benchmark, workload, warm_store):
+    _, pool = workload
+    store, run_id = warm_store
+    run = benchmark.pedantic(
+        lambda: store.load(run_id), rounds=5, iterations=1, warmup_rounds=0
+    )
+    assert [(p.items, p.tidset) for p in run.patterns] == [
+        (p.items, p.tidset) for p in pool.patterns
+    ]
+
+
+def test_bench_mine_cached_warm_hit(benchmark, workload, tmp_path):
+    db, _ = workload
+    store = PatternStore(tmp_path / "cache-store")
+    cold = mine_cached(store, "levelwise", db, minsup=MINSUP, max_size=2)
+    outcome = benchmark.pedantic(
+        lambda: mine_cached(store, "levelwise", db, minsup=MINSUP, max_size=2),
+        rounds=3, iterations=1, warmup_rounds=0,
+    )
+    assert outcome.hit and not cold.hit
+    assert [(p.items, p.tidset) for p in outcome.result.patterns] == [
+        (p.items, p.tidset) for p in cold.result.patterns
+    ]
+
+
+@pytest.mark.parametrize("name, query", [
+    ("superset", Query().superset([0, 1])),
+    ("contains-top", Query().contains(0, 1, 2, 3).limit(32)),
+    ("support-size", Query().support_at_least(MINSUP + 4).size_at_least(2)),
+])
+def test_bench_query(benchmark, workload, name, query):
+    _, pool = workload
+    index = InvertedItemIndex(pool.patterns)
+    matches = benchmark.pedantic(
+        lambda: query.evaluate(pool.patterns, index=index),
+        rounds=5, iterations=1, warmup_rounds=0,
+    )
+    brute = query.evaluate(pool.patterns)  # builds its own index
+    assert matches == brute
+    assert all(p.support >= query.min_support for p in matches)

@@ -49,7 +49,7 @@ from repro.core import (
     pattern_distance,
     pattern_fusion,
 )
-from repro.db import TransactionDatabase
+from repro.db import TransactionDatabase, dataset_fingerprint
 from repro.engine import (
     ParallelExecutor,
     SerialExecutor,
@@ -69,6 +69,7 @@ from repro.mining import (
     mine_up_to_size,
     top_k_closed,
 )
+from repro.serve import PatternServer
 from repro.sequences import (
     SequenceDatabase,
     SequenceFusionResult,
@@ -76,6 +77,16 @@ from repro.sequences import (
     SequencePattern,
     prefixspan,
     sequence_pattern_fusion,
+)
+from repro.store import (
+    CachedMine,
+    InvertedItemIndex,
+    LRUCache,
+    PatternStore,
+    Query,
+    StoredRun,
+    mine_cached,
+    run_query,
 )
 from repro.streaming import (
     DriftingPatternSource,
@@ -144,6 +155,17 @@ __all__ = [
     "ReplaySource",
     "FimiReplaySource",
     "DriftingPatternSource",
+    # pattern store + serving
+    "PatternStore",
+    "StoredRun",
+    "Query",
+    "run_query",
+    "InvertedItemIndex",
+    "mine_cached",
+    "CachedMine",
+    "LRUCache",
+    "dataset_fingerprint",
+    "PatternServer",
     # sequences
     "SequenceDatabase",
     "SequencePattern",

@@ -75,6 +75,13 @@ class MinerConfig:
     registry listing rely on; it holds no fields itself.
     """
 
+    EXECUTION_KNOBS: ClassVar[tuple[str, ...]] = ()
+    """Knobs that change *where/how fast* work runs, never its result
+    (``jobs`` and friends).  Excluded from :meth:`identity_dict`, so the
+    pattern store's content-hashed run ids and mining-cache keys treat runs
+    mined at different worker counts as the same mine — which the engine
+    guarantees they are."""
+
     def to_dict(self) -> dict[str, Any]:
         """All knobs as a JSON-serialisable dict (tuples become lists)."""
         out: dict[str, Any] = {}
@@ -105,6 +112,16 @@ class MinerConfig:
                 value = tuple(value)
             coerced[name] = value
         return cls(**coerced)
+
+    def identity_dict(self) -> dict[str, Any]:
+        """The result-determining knobs: :meth:`to_dict` minus
+        :attr:`EXECUTION_KNOBS`.  This is what persistence and caching hash."""
+        excluded = set(self.EXECUTION_KNOBS)
+        return {
+            name: value
+            for name, value in self.to_dict().items()
+            if name not in excluded
+        }
 
     @classmethod
     def knob_names(cls) -> tuple[str, ...]:

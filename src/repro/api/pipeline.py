@@ -7,9 +7,11 @@ The declarative surface the experiments and the quickstart build on::
         .dataset("diag-plus")
         .miner("pattern_fusion", minsup=20, k=10, initial_pool_max_size=2, seed=0)
         .evaluate_against("closed")          # optional Δ(AP_Q) scoring stage
+        .store("runs/")                      # optional persistence stage
         .run()
     )
     print(report.format())
+    print(report.run_id)                     # set by the store stage
 
 Each stage stores *what* to run; :meth:`Pipeline.run` resolves miners through
 the central registry (:mod:`repro.api.registry`) and executes the stages in
@@ -92,6 +94,10 @@ class PipelineReport:
     """Δ(AP_Q) of ``result`` against ``reference`` (None when not evaluated)."""
     elapsed_seconds: float = 0.0
     """Wall-clock for the whole pipeline run."""
+    run_id: str | None = None
+    """Pattern-store run id of the persisted result (None when not stored)."""
+    store_path: str | None = None
+    """Root of the pattern store the result was saved to (None when not)."""
 
     def format(self, limit: int = 10) -> str:
         """Multi-line report: dataset, result summary, top patterns, score."""
@@ -114,6 +120,8 @@ class PipelineReport:
                 f"{len(self.reference)} patterns"
             )
             lines.append(summarize_approximation(self.approximation))
+        if self.run_id is not None:
+            lines.append(f"stored: run {self.run_id} in {self.store_path}")
         return "\n".join(lines)
 
 
@@ -131,6 +139,7 @@ class Pipeline:
         self._miner: Miner | None = None
         self._reference: Miner | None = None
         self._transform: Callable[[MiningResult], MiningResult] | None = None
+        self._store_path: Path | None = None
 
     def dataset(self, spec: Any, *, n: int = 40, seed: int = 7) -> "Pipeline":
         """Set the data stage (see :func:`load_dataset` for accepted specs)."""
@@ -166,6 +175,19 @@ class Pipeline:
         self._transform = fn
         return self
 
+    def store(self, path: str | Path) -> "Pipeline":
+        """Add a persistence stage: save the mined result to a pattern store.
+
+        ``path`` is a :class:`repro.store.PatternStore` root (created when
+        missing).  The run is saved with full provenance — miner name,
+        config, dataset fingerprint — so later ``mine_cached`` calls with
+        the same dataset and config hit it; the report carries the run id.
+        The transformed result is what gets stored (the stage order is
+        mine → transform → store → evaluate).
+        """
+        self._store_path = Path(path)
+        return self
+
     @staticmethod
     def _resolve(
         miner: str | Miner, config: MinerConfig | None, overrides: dict[str, Any]
@@ -190,6 +212,18 @@ class Pipeline:
         result = self._miner.mine(db)
         if self._transform is not None:
             result = self._transform(result)
+        run_id = None
+        if self._store_path is not None:
+            # Local import: repro.store imports the registry this module
+            # also imports — resolving at call time keeps import order free.
+            from repro.store import PatternStore
+
+            run_id = PatternStore(self._store_path).save(
+                result,
+                db=db,
+                miner=type(self._miner).name,
+                config=self._miner.config.identity_dict(),
+            )
         reference = approximation = None
         if self._reference is not None:
             reference = self._reference.mine(db)
@@ -200,4 +234,8 @@ class Pipeline:
             reference=reference,
             approximation=approximation,
             elapsed_seconds=time.perf_counter() - start,
+            run_id=run_id,
+            store_path=(
+                str(self._store_path) if self._store_path is not None else None
+            ),
         )

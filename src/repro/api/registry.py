@@ -17,6 +17,7 @@ modules can import :mod:`repro.api.base` without a cycle.
 from __future__ import annotations
 
 import importlib
+import threading
 from dataclasses import dataclass
 from typing import Any, Iterator
 
@@ -50,25 +51,32 @@ _ADAPTER_MODULES: tuple[str, ...] = (
 )
 
 _adapters_loaded = False
-_adapters_loading = False
+_adapters_lock = threading.RLock()
+_adapters_loading = threading.local()
 
 
 def _load_adapters() -> None:
-    global _adapters_loaded, _adapters_loading
-    if _adapters_loaded or _adapters_loading:
-        # _adapters_loading guards re-entrancy: the imports below touch the
-        # registry themselves.  The done-latch is only set after *all*
-        # modules imported, so a failed import surfaces again (with its real
-        # cause) on the next registry access instead of leaving a silently
-        # partial table.
+    global _adapters_loaded
+    if _adapters_loaded or getattr(_adapters_loading, "active", False):
+        # The thread-local flag guards *same-thread* re-entrancy only: the
+        # imports below touch the registry themselves.  Other threads block
+        # on the lock instead of returning early, so none can observe a
+        # partially populated table (the serving layer hits the registry
+        # from many handler threads at once).  The done-latch is only set
+        # after *all* modules imported, so a failed import surfaces again
+        # (with its real cause) on the next registry access instead of
+        # leaving a silently partial table.
         return
-    _adapters_loading = True
-    try:
-        for module in _ADAPTER_MODULES:
-            importlib.import_module(module)
-        _adapters_loaded = True
-    finally:
-        _adapters_loading = False
+    with _adapters_lock:
+        if _adapters_loaded:
+            return
+        _adapters_loading.active = True
+        try:
+            for module in _ADAPTER_MODULES:
+                importlib.import_module(module)
+            _adapters_loaded = True
+        finally:
+            _adapters_loading.active = False
 
 
 @dataclass(frozen=True)

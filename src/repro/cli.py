@@ -19,10 +19,19 @@ Subcommands
 ``stream``
     Maintain Pattern-Fusion incrementally over a sliding-window stream
     (FIMI replay or a drifting synthetic source) and print the drift report.
+``store``
+    Inspect a pattern store: ``ls`` the runs, ``show`` one run, ``query``
+    a run's pool with the composable operators.
+``serve``
+    Serve a pattern store over the HTTP JSON API
+    (:class:`repro.serve.PatternServer`).
 
 Every mining subcommand dispatches through the central registry
 (:mod:`repro.api.registry`); the legacy ``mine --algorithm`` spelling is
-kept as an alias for ``--miner``.
+kept as an alias for ``--miner``.  ``mine``, ``fuse``, and ``stream`` can
+persist what they mine: ``--out FILE`` writes a standalone JSON run
+document, ``--store DIR`` saves a run into a pattern store (both at once is
+fine).
 """
 
 from __future__ import annotations
@@ -102,6 +111,7 @@ def build_parser() -> argparse.ArgumentParser:
                       help="min pattern size for topk; max size for levelwise")
     mine.add_argument("--limit", type=int, default=20,
                       help="print at most this many patterns")
+    _add_persist_args(mine)
     _add_engine_args(
         mine,
         jobs_help="worker processes for the sharded support audit "
@@ -124,6 +134,7 @@ def build_parser() -> argparse.ArgumentParser:
                       help="initial pool max pattern size")
     fuse.add_argument("--seed", type=int, default=0)
     fuse.add_argument("--limit", type=int, default=20)
+    _add_persist_args(fuse)
     _add_engine_args(fuse)
 
     evaluate = sub.add_parser(
@@ -186,11 +197,66 @@ def build_parser() -> argparse.ArgumentParser:
                         help="print at most this many final patterns")
     stream.add_argument("--json", type=Path, default=None,
                         help="write the per-slide telemetry as JSON")
+    stream.add_argument("--store", type=Path, default=None, metavar="DIR",
+                        help="pattern store: append the per-slide telemetry "
+                             "to a stream and save the final pool as a run")
+    stream.add_argument("--stream-name", default="stream",
+                        help="store stream the slides append to "
+                             "(default: stream)")
     _add_engine_args(
         stream,
         jobs_help="worker processes for revalidation and re-fusion "
                   "(results are identical for any value)",
     )
+
+    store = sub.add_parser("store", help="inspect a pattern store")
+    store_sub = store.add_subparsers(dest="store_command", required=True)
+    ls = store_sub.add_parser("ls", help="list runs and streams")
+    _add_store_arg(ls)
+    show = store_sub.add_parser("show", help="print one run")
+    _add_store_arg(show)
+    show.add_argument("run_id", help="content-hashed run id (see `store ls`)")
+    show.add_argument("--limit", type=int, default=20,
+                      help="print at most this many patterns")
+    query = store_sub.add_parser(
+        "query", help="query a run's pool with composable operators"
+    )
+    _add_store_arg(query)
+    query.add_argument("--run", required=True, metavar="RUN_ID",
+                       help="run to query (see `store ls`)")
+    query.add_argument("--contains", type=_items_arg, default=None,
+                       metavar="ITEMS",
+                       help="keep patterns sharing any of these items "
+                            "(space/comma separated ids)")
+    query.add_argument("--superset-of", type=_items_arg, default=None,
+                       metavar="ITEMS",
+                       help="keep patterns containing all of these items")
+    query.add_argument("--min-support", type=_positive_int, default=None)
+    query.add_argument("--min-size", type=_positive_int, default=None)
+    query.add_argument("--top", type=_positive_int, default=None,
+                       help="keep the k most colossal matches")
+    query.add_argument("--center", type=_items_arg, default=None,
+                       metavar="ITEMS",
+                       help="itemset of a stored pattern anchoring a "
+                            "distance ball (requires --radius)")
+    query.add_argument("--radius", type=float, default=None,
+                       help="ball radius in pattern distance (Definition 6)")
+    query.add_argument("--json", action="store_true",
+                       help="print matches as JSON records instead of a table")
+    query.add_argument("--limit", type=int, default=20,
+                       help="print at most this many patterns (table mode)")
+
+    serve = sub.add_parser(
+        "serve", help="serve a pattern store over the HTTP JSON API"
+    )
+    _add_store_arg(serve)
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8753,
+                       help="0 binds an ephemeral port (printed at startup)")
+    serve.add_argument("--cache-size", type=_non_negative_int, default=256,
+                       help="in-process LRU capacity for hot query results")
+    serve.add_argument("--no-mine", action="store_true",
+                       help="disable the POST /mine endpoint (read-only)")
     return parser
 
 
@@ -206,6 +272,36 @@ def _non_negative_int(text: str) -> int:
     if value < 0:
         raise argparse.ArgumentTypeError(f"must be >= 0, got {value}")
     return value
+
+
+def _items_arg(text: str) -> list[int]:
+    """Parse an itemset argument: ids separated by spaces and/or commas."""
+    try:
+        items = [int(tok) for tok in text.replace(",", " ").split()]
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected item ids like '3 7 12' or '3,7,12', got {text!r}"
+        ) from None
+    if not items:
+        raise argparse.ArgumentTypeError("itemset must name at least one item")
+    return items
+
+
+def _add_store_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--store", type=Path, required=True, metavar="DIR",
+                        help="pattern store root directory")
+
+
+def _add_persist_args(parser: argparse.ArgumentParser) -> None:
+    persist = parser.add_argument_group(
+        "persistence", "save the mined result (both flags may be combined)"
+    )
+    persist.add_argument("--out", type=Path, default=None, metavar="FILE",
+                         help="write the result as a standalone JSON run "
+                              "document")
+    persist.add_argument("--store", type=Path, default=None, metavar="DIR",
+                         help="save the result as a run in a pattern store "
+                              "(prints the content-hashed run id)")
 
 
 def _add_engine_args(
@@ -252,6 +348,41 @@ def _print_result(result: MiningResult, limit: int) -> None:
         print(f"  size {pattern.size:>3}  support {pattern.support:>6}  {pattern}")
     if len(result) > limit:
         print(f"  ... and {len(result) - limit} more")
+
+
+def _persist_result(
+    result: MiningResult,
+    db: TransactionDatabase,
+    args: argparse.Namespace,
+    miner: str,
+    config: dict[str, Any],
+) -> None:
+    """Handle ``--out`` (JSON document) and ``--store`` (pattern-store run)."""
+    if args.out is None and args.store is None:
+        return
+    # Local import: the store is optional machinery for the mining commands.
+    from repro.db.stats import dataset_fingerprint
+    from repro.store import PatternStore, result_to_document, write_document
+
+    fingerprint = dataset_fingerprint(db)
+    if args.out is not None:
+        document = result_to_document(
+            result,
+            miner=miner,
+            config=config,
+            dataset={
+                "fingerprint": fingerprint,
+                "n_transactions": db.n_transactions,
+                "n_items": db.n_items,
+            },
+        )
+        write_document(args.out, document)
+        print(f"wrote {len(result)} patterns to {args.out}")
+    if args.store is not None:
+        run_id = PatternStore(args.store).save(
+            result, db=db, miner=miner, config=config, fingerprint=fingerprint
+        )
+        print(f"stored run {run_id} in {args.store}")
 
 
 def _sharded_audit(
@@ -350,6 +481,7 @@ def _cmd_mine(args: argparse.Namespace) -> int:
     print(describe(db))
     result = spec.cls(config).mine(db)
     _print_result(result, args.limit)
+    _persist_result(result, db, args, spec.name, config.identity_dict())
     if args.shards > 0 or args.jobs > 1:
         if spec.capabilities.sequences:
             # Sequence supports count subsequence embeddings, not itemset
@@ -419,6 +551,10 @@ def _cmd_fuse(args: argparse.Namespace) -> int:
         f"{result.elapsed_seconds:.3f}s{engine_note}"
     )
     _print_result(result.as_mining_result(), args.limit)
+    _persist_result(
+        result.as_mining_result(), db, args, type(miner).name,
+        miner.config.identity_dict(),
+    )
     if args.shards > 0:
         return _sharded_audit(db, result.patterns, args)
     return 0
@@ -520,10 +656,179 @@ def _cmd_stream(args: argparse.Namespace) -> int:
                 indent=2,
             ))
             print(f"wrote telemetry to {args.json}")
+        if args.store is not None:
+            from repro.store import PatternStore
+
+            store = PatternStore(args.store)
+            appended = store.append_slides(args.stream_name, report.as_dicts())
+            run_id = store.save(
+                miner.result(),
+                db=driver.window.snapshot(),
+                miner=type(miner).name,
+                config=miner.config.identity_dict(),
+            )
+            print(
+                f"appended {appended} slides to stream "
+                f"{args.stream_name!r}; stored final pool as run {run_id} "
+                f"in {args.store}"
+            )
     # Audit after the stream's executor has shut down, so the audit's own
     # worker pool is the only one alive.
     if args.shards > 0:
         return _sharded_audit(driver.window.snapshot(), driver.patterns, args)
+    return 0
+
+
+def _open_store(args: argparse.Namespace):
+    """Open the --store directory, requiring it to already be a store."""
+    from repro.store import PatternStore
+
+    if not (args.store / "store.json").exists():
+        raise _CliError(
+            f"{args.store} is not a pattern store (no store.json); "
+            "create one with `repro mine --store`, `repro fuse --store`, "
+            "or Pipeline.store()"
+        )
+    return PatternStore(args.store)
+
+
+def _cmd_store(args: argparse.Namespace) -> int:
+    try:
+        store = _open_store(args)
+        if args.store_command == "ls":
+            return _store_ls(store)
+        if args.store_command == "show":
+            return _store_show(store, args)
+        return _store_query(store, args)
+    except (_CliError, KeyError, ValueError) as error:
+        message = error.args[0] if error.args else error
+        print(message, file=sys.stderr)
+        return 2
+
+
+def _store_ls(store) -> int:
+    metas = list(store.metas())
+    if not metas:
+        print(f"empty store at {store.root}")
+        return 0
+    print(f"{'RUN':<16}  {'MINER':<24}  {'MINSUP':>6}  {'PATTERNS':>8}  "
+          f"{'FINGERPRINT':<12}  SECONDS")
+    for meta in metas:
+        dataset = meta.get("dataset") or {}
+        fingerprint = (dataset.get("fingerprint") or "")[:12] or "-"
+        print(
+            f"{meta['run_id']:<16}  {meta.get('miner') or '-':<24}  "
+            f"{meta.get('minsup', 0):>6}  {meta.get('n_patterns', 0):>8}  "
+            f"{fingerprint:<12}  {meta.get('elapsed_seconds', 0.0):.3f}"
+        )
+    for name in store.stream_names():
+        print(f"stream {name!r}: {len(store.read_slides(name))} slides")
+    return 0
+
+
+def _store_show(store, args: argparse.Namespace) -> int:
+    run = store.load(args.run_id)
+    meta = dict(run.meta)
+    dataset = meta.get("dataset") or {}
+    print(f"run {run.run_id}: {meta.get('miner') or meta['algorithm']}")
+    if meta.get("config"):
+        knobs = ", ".join(f"{k}={v}" for k, v in sorted(meta["config"].items()))
+        print(f"  config: {knobs}")
+    if dataset:
+        print(
+            f"  dataset: fingerprint {(dataset.get('fingerprint') or '?')[:12]}"
+            + (
+                f", {dataset['n_transactions']} transactions x "
+                f"{dataset['n_items']} items"
+                if "n_transactions" in dataset else ""
+            )
+        )
+    _print_result(run.result, args.limit)
+    return 0
+
+
+def _build_query(args: argparse.Namespace):
+    from repro.store import Query
+
+    if (args.center is None) != (args.radius is None):
+        raise _CliError("--center and --radius must be given together")
+    query = Query()
+    if args.contains is not None:
+        query = query.contains(*args.contains)
+    if args.superset_of is not None:
+        query = query.superset(args.superset_of)
+    if args.min_support is not None:
+        query = query.support_at_least(args.min_support)
+    if args.min_size is not None:
+        query = query.size_at_least(args.min_size)
+    if args.top is not None:
+        query = query.limit(args.top)
+    if args.center is not None:
+        query = query.within(args.center, args.radius)
+    return query
+
+
+def _store_query(store, args: argparse.Namespace) -> int:
+    from repro.serve.app import pattern_record
+
+    query = _build_query(args)
+    run = store.load(args.run)
+    matches = query.evaluate(run.patterns)
+    if args.json:
+        print(json.dumps(
+            {
+                "run": run.run_id,
+                "query": query.to_dict(),
+                "count": len(matches),
+                "patterns": [pattern_record(p) for p in matches],
+            },
+            indent=2,
+        ))
+        return 0
+    operators = query.to_dict()
+    described = (
+        ", ".join(f"{k}={v}" for k, v in operators.items()) if operators
+        else "match-all"
+    )
+    print(
+        f"query [{described}] over run {run.run_id}: "
+        f"{len(matches)} of {len(run)} patterns"
+    )
+    shown = matches[: args.limit]
+    for pattern in shown:
+        print(f"  size {pattern.size:>3}  support {pattern.support:>6}  {pattern}")
+    if len(matches) > len(shown):
+        print(f"  ... and {len(matches) - len(shown)} more")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve import PatternServer
+
+    try:
+        store = _open_store(args)
+    except _CliError as error:
+        print(error, file=sys.stderr)
+        return 2
+    server = PatternServer(
+        store,
+        host=args.host,
+        port=args.port,
+        cache_size=args.cache_size,
+        allow_mine=not args.no_mine,
+    )
+    print(
+        f"serving {len(store)} runs from {args.store} on {server.url} "
+        "(GET /health /miners /runs /runs/<id>, POST /mine /query; "
+        "Ctrl-C stops)",
+        flush=True,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down")
+    finally:
+        server.close()
     return 0
 
 
@@ -535,6 +840,8 @@ _COMMANDS = {
     "experiment": _cmd_experiment,
     "datasets": _cmd_datasets,
     "stream": _cmd_stream,
+    "store": _cmd_store,
+    "serve": _cmd_serve,
 }
 
 

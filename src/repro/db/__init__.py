@@ -3,7 +3,7 @@
 from repro.db import bitset
 from repro.db.encoder import ItemEncoder
 from repro.db.io import format_fimi, iter_fimi, parse_fimi, read_fimi, write_fimi
-from repro.db.stats import DatabaseStats, describe
+from repro.db.stats import DatabaseStats, dataset_fingerprint, describe
 from repro.db.transaction_db import TransactionDatabase, absolute_minsup
 
 __all__ = [
@@ -12,6 +12,7 @@ __all__ = [
     "TransactionDatabase",
     "absolute_minsup",
     "DatabaseStats",
+    "dataset_fingerprint",
     "describe",
     "read_fimi",
     "write_fimi",

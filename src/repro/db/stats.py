@@ -4,15 +4,55 @@ Used by the experiment harness to print the dataset header rows the paper
 gives for each dataset (|D|, item count, density, transaction lengths) and by
 tests to sanity-check the synthetic generators against the paper's figures
 (e.g. Replace: 4,395 transactions, 57 items; ALL: 38 transactions of size 866).
+
+Also home of :func:`dataset_fingerprint` — the canonical content hash the
+pattern store keys its mining cache on (and :func:`describe` reports), so
+every layer that needs to ask "is this the same dataset?" resolves the
+question through one audited function.
 """
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 
 from repro.db.transaction_db import TransactionDatabase
 
-__all__ = ["DatabaseStats", "describe"]
+__all__ = ["DatabaseStats", "dataset_fingerprint", "describe"]
+
+
+def dataset_fingerprint(db: TransactionDatabase) -> str:
+    """Stable content hash of a database (64 hex chars).
+
+    SHA-256 over the item universe size and the *sorted* encoded rows (each
+    row its sorted item ids).  Sorting makes the fingerprint invariant to
+    transaction order — any row permutation mines the same pattern sets, so
+    permuted copies should hit the same cache entries — while any change to
+    the rows themselves, the row multiset, or the universe size changes the
+    hash.  The pattern store's ``mine_cached`` keys on this value.
+
+    The hash is content-sized work, and :class:`TransactionDatabase` is
+    immutable — so the value is memoized on the exact class (never on
+    mutable subclasses, whose content can change under the cache), making
+    the repeated calls from ``describe`` + persistence + cache lookups pay
+    once per database.
+    """
+    if type(db) is TransactionDatabase:
+        cached = getattr(db, "_fingerprint_cache", None)
+        if cached is not None:
+            return cached
+    rows = sorted(
+        " ".join(str(item) for item in sorted(row)) for row in db.transactions
+    )
+    digest = hashlib.sha256()
+    digest.update(f"fimi-v1 {db.n_transactions} {db.n_items}\n".encode())
+    for row in rows:
+        digest.update(row.encode())
+        digest.update(b"\n")
+    fingerprint = digest.hexdigest()
+    if type(db) is TransactionDatabase:
+        db._fingerprint_cache = fingerprint
+    return fingerprint
 
 
 @dataclass(frozen=True, slots=True)
@@ -27,6 +67,8 @@ class DatabaseStats:
     mean_transaction_length: float
     density: float
     """Fraction of the |D| × n_items matrix that is 1."""
+    fingerprint: str = ""
+    """Canonical content hash (see :func:`dataset_fingerprint`)."""
 
     def as_rows(self) -> list[tuple[str, str]]:
         """(label, value) rows for table rendering."""
@@ -38,6 +80,7 @@ class DatabaseStats:
             ("max |t|", str(self.max_transaction_length)),
             ("mean |t|", f"{self.mean_transaction_length:.2f}"),
             ("density", f"{self.density:.4f}"),
+            ("fingerprint", self.fingerprint[:12]),
         ]
 
     def __str__(self) -> str:
@@ -61,4 +104,5 @@ def describe(db: TransactionDatabase) -> DatabaseStats:
         max_transaction_length=max(lengths) if lengths else 0,
         mean_transaction_length=total / n if n else 0.0,
         density=total / cells if cells else 0.0,
+        fingerprint=dataset_fingerprint(db),
     )

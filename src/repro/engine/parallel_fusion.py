@@ -195,6 +195,8 @@ def parallel_pattern_fusion(
 class ParallelFusionConfig(PatternFusionMinerConfig):
     """Engine-driver knobs: the fusion config + ``minsup`` + ``jobs``."""
 
+    EXECUTION_KNOBS = ("jobs",)  # pools are identical for every jobs value
+
     jobs: int = 1
 
     def __post_init__(self) -> None:

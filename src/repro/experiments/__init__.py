@@ -10,12 +10,22 @@ from repro.experiments import (  # noqa: F401  (registry imports these lazily)
 )
 from repro.experiments.ascii_chart import line_chart
 from repro.experiments.base import ExperimentResult, TimedOutcome, timed
+from repro.experiments.bench_io import (
+    BenchRecord,
+    bench_path,
+    read_bench,
+    write_bench,
+)
 
 __all__ = [
     "ExperimentResult",
     "TimedOutcome",
     "timed",
     "line_chart",
+    "BenchRecord",
+    "bench_path",
+    "write_bench",
+    "read_bench",
     "fig6_diag_runtime",
     "fig7_diag_approx",
     "fig8_replace_approx",

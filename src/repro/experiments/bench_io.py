@@ -1,0 +1,81 @@
+"""The benchmark-trajectory writer: ``BENCH_<suite>.json`` artifacts.
+
+Perf is tracked *across PRs* by committing one small JSON file per benchmark
+suite at the repository root.  Every suite — the store benchmarks, the
+engine speedup series, the streaming maintenance series, the paper-figure
+reproductions — funnels its timings through :func:`write_bench`, so the
+trajectory files all share one schema::
+
+    {
+      "suite": "store",
+      "format": 1,
+      "records": [
+        {"name": "save[1000]", "seconds": 0.0123, "meta": {"rounds": 3}},
+        ...
+      ]
+    }
+
+``benchmarks/conftest.py`` hooks pytest-benchmark's session results into
+this writer automatically; ad-hoc timing scripts can call it directly.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+__all__ = ["BenchRecord", "bench_path", "write_bench", "read_bench"]
+
+#: Schema version of the trajectory files.
+BENCH_FORMAT = 1
+
+
+@dataclass(frozen=True, slots=True)
+class BenchRecord:
+    """One timed benchmark: a stable name, seconds, free-form metadata."""
+
+    name: str
+    seconds: float
+    meta: dict[str, Any] = field(default_factory=dict)
+
+    def as_dict(self) -> dict[str, Any]:
+        return {"name": self.name, "seconds": self.seconds, "meta": self.meta}
+
+
+def bench_path(root: str | Path, suite: str) -> Path:
+    """Canonical trajectory path for a suite: ``<root>/BENCH_<suite>.json``."""
+    return Path(root) / f"BENCH_{suite}.json"
+
+
+def write_bench(
+    path: str | Path, suite: str, records: list[BenchRecord]
+) -> Path:
+    """Write a suite's trajectory file (records sorted by name, stable JSON)."""
+    document = {
+        "suite": suite,
+        "format": BENCH_FORMAT,
+        "records": [
+            r.as_dict() for r in sorted(records, key=lambda r: r.name)
+        ],
+    }
+    path = Path(path)
+    path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def read_bench(path: str | Path) -> list[BenchRecord]:
+    """Read a trajectory file back into records (newer formats refused)."""
+    document = json.loads(Path(path).read_text())
+    version = document.get("format")
+    if not isinstance(version, int) or version > BENCH_FORMAT:
+        raise ValueError(f"{path}: unsupported bench format {version!r}")
+    return [
+        BenchRecord(
+            name=record["name"],
+            seconds=record["seconds"],
+            meta=record.get("meta", {}),
+        )
+        for record in document.get("records", [])
+    ]

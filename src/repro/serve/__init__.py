@@ -1,0 +1,12 @@
+"""Serving layer: the pattern store over a zero-dependency HTTP JSON API.
+
+:class:`PatternServer` (see :mod:`repro.serve.app`) wraps a
+:class:`repro.store.PatternStore` in a stdlib ``ThreadingHTTPServer`` with
+in-process LRU caches for hot runs and queries — the ``repro serve``
+subcommand is a thin shell around it, and tests drive it on a background
+thread via ``with PatternServer(store) as server: ...``.
+"""
+
+from repro.serve.app import PatternServer, pattern_record
+
+__all__ = ["PatternServer", "pattern_record"]

@@ -1,0 +1,350 @@
+"""The pattern server: a zero-dependency JSON API over a pattern store.
+
+Routes (all responses JSON):
+
+======  =================  ====================================================
+GET     ``/health``        store size, format version, cache telemetry
+GET     ``/miners``        the registry listing (``repro miners --json``)
+GET     ``/runs``          metadata summary of every stored run
+GET     ``/runs/<id>``     one run's metadata + patterns (``?limit=N``)
+POST    ``/mine``          mine through the store cache; body
+                           ``{"dataset": ..., "miner": ..., "config": {...}}``
+POST    ``/query``         evaluate a query; body
+                           ``{"run": id, "query": {...}}``
+======  =================  ====================================================
+
+Built on the stdlib ``ThreadingHTTPServer`` — one thread per connection, no
+framework — with two in-process LRUs in front of the disk: loaded runs
+(payload + prebuilt :class:`repro.store.index.InvertedItemIndex`) and hot
+query results.  Both caches are safe because the store is content-addressed
+and append-only: a run id's content can never change under a cached entry.
+
+Pattern records on the wire carry ``items``, ``size``, ``support``, and the
+``tidset`` as hex — everything needed to rebuild the exact in-memory
+:class:`repro.mining.results.Pattern`, so HTTP clients lose nothing over
+local ones.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any
+from urllib.parse import parse_qs, urlparse
+
+from repro.api.pipeline import load_dataset
+from repro.api.registry import get_miner_spec, miner_names
+from repro.mining.results import Pattern
+from repro.store.cache import LRUCache, mine_cached
+from repro.store.format import FORMAT_VERSION
+from repro.store.index import InvertedItemIndex
+from repro.store.query import Query, run_query
+from repro.store.store import PatternStore, StoredRun
+
+__all__ = ["PatternServer", "pattern_record"]
+
+#: Default number of pattern records embedded in /mine and /runs/<id> bodies.
+DEFAULT_LIMIT = 50
+
+
+def pattern_record(pattern: Pattern) -> dict[str, Any]:
+    """One pattern as a lossless JSON record (tidset as hex)."""
+    return {
+        "items": list(pattern.sorted_items()),
+        "size": pattern.size,
+        "support": pattern.support,
+        "tidset": f"{pattern.tidset:x}",
+    }
+
+
+class _ApiError(Exception):
+    """An error with an HTTP status and a message fit for the JSON body."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+def _run_summary(meta: dict[str, Any]) -> dict[str, Any]:
+    dataset = meta.get("dataset") or {}
+    return {
+        "run_id": meta["run_id"],
+        "miner": meta.get("miner"),
+        "algorithm": meta.get("algorithm"),
+        "minsup": meta.get("minsup"),
+        "n_patterns": meta.get("n_patterns"),
+        "fingerprint": dataset.get("fingerprint"),
+        "elapsed_seconds": meta.get("elapsed_seconds"),
+        "created": meta.get("created"),
+    }
+
+
+class PatternServer:
+    """Serve a :class:`PatternStore` over HTTP; see the module docstring.
+
+    ``port=0`` binds an ephemeral port (read it back from :attr:`port` —
+    the tests and the ``repro serve`` banner do).  ``allow_mine=False``
+    turns ``/mine`` off for read-only deployments.  Use as a context
+    manager, or call :meth:`start` / :meth:`close` explicitly.
+    """
+
+    def __init__(
+        self,
+        store: PatternStore,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        cache_size: int = 256,
+        allow_mine: bool = True,
+    ) -> None:
+        self.store = store
+        self.allow_mine = allow_mine
+        self.query_cache = LRUCache(cache_size)
+        # Loaded runs are far heavier than query results but far fewer; a
+        # small fixed bound keeps the hot working set resident.
+        self.run_cache = LRUCache(max(8, cache_size // 16))
+        self._httpd = _StoreHTTPServer((host, port), _Handler, app=self)
+        self._thread: threading.Thread | None = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def host(self) -> str:
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        """The bound port (resolves ``port=0`` to the kernel's choice)."""
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "PatternServer":
+        """Serve on a daemon thread and return immediately."""
+        if self._thread is not None:
+            raise RuntimeError("server already started")
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever, name="repro-serve", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread until interrupted (the CLI path)."""
+        self._httpd.serve_forever()
+
+    def close(self) -> None:
+        """Stop serving and release the socket."""
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+
+    def __enter__(self) -> "PatternServer":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Request handling (called from handler threads)
+    # ------------------------------------------------------------------
+
+    def handle(
+        self, method: str, path: str, query: dict[str, list[str]],
+        body: dict[str, Any] | None,
+    ) -> tuple[int, dict[str, Any] | list[Any]]:
+        """Dispatch one request; returns (status, JSON-ready payload)."""
+        parts = [part for part in path.split("/") if part]
+        if method == "GET":
+            if parts in ([], ["health"]):
+                return 200, self._health()
+            if parts == ["miners"]:
+                return 200, [
+                    get_miner_spec(name).describe() for name in miner_names()
+                ]
+            if parts == ["runs"]:
+                return 200, [_run_summary(meta) for meta in self.store.metas()]
+            if len(parts) == 2 and parts[0] == "runs":
+                return 200, self._run_detail(parts[1], _limit_of(query))
+        elif method == "POST":
+            if parts == ["query"]:
+                return 200, self._query(body or {})
+            if parts == ["mine"]:
+                return 200, self._mine(body or {})
+        else:
+            raise _ApiError(405, f"method {method} not supported")
+        raise _ApiError(404, f"no route for {method} /{'/'.join(parts)}")
+
+    def _health(self) -> dict[str, Any]:
+        return {
+            "status": "ok",
+            "format": FORMAT_VERSION,
+            "runs": len(self.store),
+            "streams": self.store.stream_names(),
+            "mine_enabled": self.allow_mine,
+            "query_cache": self.query_cache.stats(),
+            "run_cache": self.run_cache.stats(),
+        }
+
+    def _load_run(self, run_id: str) -> tuple[StoredRun, InvertedItemIndex]:
+        cached = self.run_cache.get(run_id)
+        if cached is not None:
+            return cached
+        try:
+            run = self.store.load(run_id)
+        except KeyError as exc:
+            raise _ApiError(404, str(exc.args[0])) from None
+        entry = (run, InvertedItemIndex(run.patterns))
+        self.run_cache.put(run_id, entry)
+        return entry
+
+    def _run_detail(self, run_id: str, limit: int | None) -> dict[str, Any]:
+        run, _ = self._load_run(run_id)
+        shown = run.patterns if limit is None else run.patterns[:limit]
+        detail = dict(run.meta)
+        detail["patterns"] = [pattern_record(p) for p in shown]
+        detail["patterns_shown"] = len(shown)
+        return detail
+
+    def _query(self, body: dict[str, Any]) -> dict[str, Any]:
+        run_id = body.get("run")
+        if not isinstance(run_id, str):
+            raise _ApiError(400, "body must carry a 'run' id string")
+        query_dict = body.get("query", {})
+        if not isinstance(query_dict, dict):
+            raise _ApiError(400, "'query' must be an object")
+        try:
+            query = Query.from_dict(query_dict)
+        except (TypeError, ValueError) as exc:
+            raise _ApiError(400, f"invalid query: {exc}") from None
+        cache_key = (run_id, json.dumps(query.to_dict(), sort_keys=True))
+        cached = self.query_cache.get(cache_key)
+        if cached is not None:
+            return cached
+        run, index = self._load_run(run_id)
+        try:
+            matches = run_query(run.patterns, query, index=index)
+        except KeyError as exc:
+            raise _ApiError(404, str(exc.args[0])) from None
+        response = {
+            "run": run_id,
+            "query": query.to_dict(),
+            "count": len(matches),
+            "patterns": [pattern_record(p) for p in matches],
+        }
+        self.query_cache.put(cache_key, response)
+        return response
+
+    def _mine(self, body: dict[str, Any]) -> dict[str, Any]:
+        if not self.allow_mine:
+            raise _ApiError(403, "mining is disabled on this server")
+        miner = body.get("miner")
+        if not isinstance(miner, str):
+            raise _ApiError(400, "body must carry a 'miner' name string")
+        dataset = body.get("dataset")
+        if not isinstance(dataset, str):
+            raise _ApiError(
+                400, "body must carry a 'dataset' (built-in name or file path)"
+            )
+        config = body.get("config", {})
+        if not isinstance(config, dict):
+            raise _ApiError(400, "'config' must be an object of miner knobs")
+        limit = body.get("limit", DEFAULT_LIMIT)
+        if not isinstance(limit, int) or isinstance(limit, bool):
+            raise _ApiError(400, f"'limit' must be an integer, got {limit!r}")
+        try:
+            spec = get_miner_spec(miner)
+            miner_config = spec.config_type.from_dict(config)
+            db = load_dataset(
+                dataset,
+                n=body.get("n", 40),
+                seed=body.get("seed", 7),
+            )
+        except (TypeError, ValueError) as exc:
+            raise _ApiError(400, str(exc)) from None
+        outcome = mine_cached(self.store, miner, db, miner_config)
+        result = outcome.result
+        return {
+            "run": outcome.run_id,
+            "cached": outcome.hit,
+            "miner": miner,
+            "algorithm": result.algorithm,
+            "minsup": result.minsup,
+            "count": len(result),
+            "patterns": [pattern_record(p) for p in result.patterns[:limit]],
+        }
+
+
+def _limit_of(query: dict[str, list[str]]) -> int | None:
+    values = query.get("limit")
+    if not values:
+        return DEFAULT_LIMIT
+    try:
+        limit = int(values[-1])
+    except ValueError:
+        raise _ApiError(400, f"limit must be an integer, got {values[-1]!r}") from None
+    return None if limit < 0 else limit
+
+
+class _StoreHTTPServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer that carries the app reference for its handlers."""
+
+    daemon_threads = True
+
+    def __init__(self, address, handler, app: PatternServer) -> None:
+        self.app = app
+        super().__init__(address, handler)
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Parse HTTP, delegate to :meth:`PatternServer.handle`, write JSON."""
+
+    server: _StoreHTTPServer
+    protocol_version = "HTTP/1.1"
+
+    def log_message(self, format: str, *args: object) -> None:
+        pass  # request logging is the deployment wrapper's business
+
+    def _respond(self, status: int, payload: dict[str, Any] | list[Any]) -> None:
+        body = json.dumps(payload, indent=2).encode() + b"\n"
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _dispatch(self, method: str) -> None:
+        parsed = urlparse(self.path)
+        body: dict[str, Any] | None = None
+        if method == "POST":
+            length = int(self.headers.get("Content-Length") or 0)
+            raw = self.rfile.read(length) if length else b""
+            try:
+                body = json.loads(raw) if raw else {}
+            except json.JSONDecodeError as exc:
+                self._respond(400, {"error": f"invalid JSON body: {exc}"})
+                return
+            if not isinstance(body, dict):
+                self._respond(400, {"error": "JSON body must be an object"})
+                return
+        try:
+            status, payload = self.server.app.handle(
+                method, parsed.path, parse_qs(parsed.query), body
+            )
+        except _ApiError as exc:
+            status, payload = exc.status, {"error": str(exc)}
+        except Exception as exc:  # pragma: no cover - defensive 500
+            status, payload = 500, {"error": f"{type(exc).__name__}: {exc}"}
+        self._respond(status, payload)
+
+    def do_GET(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
+        self._dispatch("POST")

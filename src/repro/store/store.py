@@ -1,0 +1,299 @@
+"""The persistent pattern store: mined pools as first-class on-disk runs.
+
+Layout (everything human-inspectable)::
+
+    <root>/store.json                 # format marker
+    <root>/runs/<run_id>/meta.json    # metadata document (no patterns)
+    <root>/runs/<run_id>/patterns.txt # payload: one pattern per line
+    <root>/streams/<name>.jsonl       # appended DriftReport slides
+
+Run ids are content hashes (:func:`repro.store.format.content_run_id`), so
+the store is append-only and idempotent: saving the same run twice is a
+no-op returning the same id, and nothing in a run directory is ever
+rewritten.  Writes go through a temp-file + rename so a crashed save leaves
+no half-written run visible.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Iterator
+
+from repro.db.stats import dataset_fingerprint
+from repro.db.transaction_db import TransactionDatabase
+from repro.mining.results import MiningResult, Pattern
+from repro.store.format import (
+    FORMAT_VERSION,
+    cache_key,
+    check_format,
+    content_run_id,
+    decode_patterns,
+    encode_patterns,
+)
+
+__all__ = ["StoredRun", "PatternStore"]
+
+_STREAM_NAME = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]*$")
+
+
+@dataclass(frozen=True, slots=True)
+class StoredRun:
+    """One persisted run, fully loaded: metadata + the reconstructed result."""
+
+    run_id: str
+    meta: dict[str, Any]
+    result: MiningResult
+
+    @property
+    def miner(self) -> str | None:
+        """Registry name of the miner that produced the run (when known)."""
+        return self.meta.get("miner")
+
+    @property
+    def config(self) -> dict[str, Any] | None:
+        """The miner config's ``to_dict`` image (when known)."""
+        return self.meta.get("config")
+
+    @property
+    def fingerprint(self) -> str | None:
+        """Fingerprint of the mined dataset (when known)."""
+        dataset = self.meta.get("dataset") or {}
+        return dataset.get("fingerprint")
+
+    @property
+    def patterns(self) -> list[Pattern]:
+        return self.result.patterns
+
+    def __len__(self) -> int:
+        return len(self.result.patterns)
+
+
+class PatternStore:
+    """A directory of persisted, content-addressed mining runs.
+
+    The constructor creates the directory (and the format marker) when
+    missing and refuses a directory written by a newer format version.
+    All operations address runs by their id; listings read only the small
+    metadata documents, payloads load lazily via :meth:`load`.
+    """
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self._runs_dir = self.root / "runs"
+        self._streams_dir = self.root / "streams"
+        marker = self.root / "store.json"
+        if marker.exists():
+            check_format(json.loads(marker.read_text()), where=str(marker))
+        else:
+            self._runs_dir.mkdir(parents=True, exist_ok=True)
+            _atomic_write_text(
+                marker, json.dumps({"format": FORMAT_VERSION}) + "\n"
+            )
+        self._runs_dir.mkdir(parents=True, exist_ok=True)
+
+    def __repr__(self) -> str:
+        return f"PatternStore({str(self.root)!r}, {len(self)} runs)"
+
+    # ------------------------------------------------------------------
+    # Saving
+    # ------------------------------------------------------------------
+
+    def save(
+        self,
+        result: MiningResult,
+        db: TransactionDatabase | None = None,
+        miner: str | None = None,
+        config: dict[str, Any] | None = None,
+        fingerprint: str | None = None,
+    ) -> str:
+        """Persist a result; returns its content-addressed run id.
+
+        ``db`` (or a precomputed ``fingerprint``) records which dataset the
+        patterns came from — required for the mining cache to ever hit.
+        ``miner`` and ``config`` record how; pass a config's ``to_dict()``
+        image.  Saving identical content again is a no-op.
+        """
+        dataset: dict[str, Any] | None = None
+        if db is not None:
+            if fingerprint is None:
+                fingerprint = dataset_fingerprint(db)
+            dataset = {
+                "fingerprint": fingerprint,
+                "n_transactions": db.n_transactions,
+                "n_items": db.n_items,
+            }
+        elif fingerprint is not None:
+            dataset = {"fingerprint": fingerprint}
+        payload = encode_patterns(result.patterns)
+        run_id = content_run_id(
+            payload, miner, result.algorithm, result.minsup, config, fingerprint
+        )
+        run_dir = self._runs_dir / run_id
+        if (run_dir / "meta.json").exists():
+            return run_id  # content-addressed: identical run already stored
+        meta = {
+            "format": FORMAT_VERSION,
+            "kind": "pattern-run",
+            "run_id": run_id,
+            "miner": miner,
+            "algorithm": result.algorithm,
+            "minsup": result.minsup,
+            "config": config,
+            "dataset": dataset,
+            "cache_key": cache_key(fingerprint, miner, config),
+            "elapsed_seconds": result.elapsed_seconds,
+            "n_patterns": len(result.patterns),
+            "created": time.time(),
+        }
+        run_dir.mkdir(parents=True, exist_ok=True)
+        _atomic_write_text(run_dir / "patterns.txt", payload)
+        # meta.json lands last: its presence is what marks the run complete.
+        _atomic_write_text(run_dir / "meta.json", json.dumps(meta, indent=2) + "\n")
+        return run_id
+
+    # ------------------------------------------------------------------
+    # Loading and listing
+    # ------------------------------------------------------------------
+
+    def run_ids(self) -> list[str]:
+        """Ids of every complete run, sorted (stable listing order)."""
+        if not self._runs_dir.exists():
+            return []
+        return sorted(
+            entry.name
+            for entry in self._runs_dir.iterdir()
+            if (entry / "meta.json").exists()
+        )
+
+    def __len__(self) -> int:
+        return len(self.run_ids())
+
+    def __contains__(self, run_id: object) -> bool:
+        return (
+            isinstance(run_id, str)
+            and (self._runs_dir / run_id / "meta.json").exists()
+        )
+
+    def meta(self, run_id: str) -> dict[str, Any]:
+        """A run's metadata document (no payload read)."""
+        path = self._runs_dir / run_id / "meta.json"
+        if not path.exists():
+            raise KeyError(
+                f"no run {run_id!r} in store {self.root} "
+                f"(known: {', '.join(self.run_ids()) or 'none'})"
+            )
+        meta = json.loads(path.read_text())
+        check_format(meta, where=str(path))
+        return meta
+
+    def metas(self) -> Iterator[dict[str, Any]]:
+        """Every run's metadata, in :meth:`run_ids` order."""
+        for run_id in self.run_ids():
+            yield self.meta(run_id)
+
+    def load(self, run_id: str) -> StoredRun:
+        """Load a run completely; the result is bit-identical to the save."""
+        meta = self.meta(run_id)
+        payload = (self._runs_dir / run_id / "patterns.txt").read_text()
+        patterns = decode_patterns(payload)
+        if meta.get("n_patterns") != len(patterns):
+            raise ValueError(
+                f"run {run_id}: meta declares {meta.get('n_patterns')} patterns "
+                f"but the payload holds {len(patterns)}"
+            )
+        result = MiningResult(
+            algorithm=meta["algorithm"],
+            minsup=meta["minsup"],
+            patterns=patterns,
+            elapsed_seconds=meta.get("elapsed_seconds", 0.0),
+        )
+        return StoredRun(run_id=run_id, meta=meta, result=result)
+
+    def delete(self, run_id: str) -> None:
+        """Remove a run (meta first, so a partial delete is still invisible)."""
+        run_dir = self._runs_dir / run_id
+        if not (run_dir / "meta.json").exists():
+            raise KeyError(f"no run {run_id!r} in store {self.root}")
+        (run_dir / "meta.json").unlink()
+        payload = run_dir / "patterns.txt"
+        if payload.exists():
+            payload.unlink()
+        try:
+            run_dir.rmdir()
+        except OSError:  # pragma: no cover - leftover foreign files
+            pass
+
+    def find(
+        self,
+        fingerprint: str | None,
+        miner: str | None,
+        config: dict[str, Any] | None,
+    ) -> str | None:
+        """The run id matching a (dataset, miner, config) cache key, if any.
+
+        This is the lookup behind :func:`repro.store.cache.mine_cached`; a
+        key is only comparable when all three components were recorded, so
+        runs saved without provenance never produce (or poison) hits.
+        """
+        key = cache_key(fingerprint, miner, config)
+        if key is None:
+            return None
+        for meta in self.metas():
+            if meta.get("cache_key") == key:
+                return meta["run_id"]
+        return None
+
+    # ------------------------------------------------------------------
+    # Streams (persisted DriftReport slides)
+    # ------------------------------------------------------------------
+
+    def append_slides(self, name: str, slides: Iterator[dict] | list[dict]) -> int:
+        """Append drift-report slide records to stream ``name`` (JSONL).
+
+        Streams are the store's time-series surface: each ``repro stream
+        --store`` run appends its :meth:`repro.streaming.DriftReport.as_dicts`
+        rows, so a long-lived deployment accumulates one contiguous telemetry
+        log per stream name.  Returns the number of records appended.
+        """
+        if not _STREAM_NAME.match(name):
+            raise ValueError(
+                f"invalid stream name {name!r}; use letters, digits, . _ -"
+            )
+        self._streams_dir.mkdir(parents=True, exist_ok=True)
+        rows = [json.dumps(slide, sort_keys=True) for slide in slides]
+        if rows:
+            with (self._streams_dir / f"{name}.jsonl").open("a") as handle:
+                handle.write("\n".join(rows) + "\n")
+        return len(rows)
+
+    def read_slides(self, name: str) -> list[dict]:
+        """Every slide record appended to stream ``name``, in arrival order."""
+        path = self._streams_dir / f"{name}.jsonl"
+        if not path.exists():
+            raise KeyError(
+                f"no stream {name!r} in store {self.root} "
+                f"(known: {', '.join(self.stream_names()) or 'none'})"
+            )
+        return [
+            json.loads(line)
+            for line in path.read_text().splitlines()
+            if line.strip()
+        ]
+
+    def stream_names(self) -> list[str]:
+        """Names of every persisted stream, sorted."""
+        if not self._streams_dir.exists():
+            return []
+        return sorted(p.stem for p in self._streams_dir.glob("*.jsonl"))
+
+
+def _atomic_write_text(path: Path, text: str) -> None:
+    """Write via temp file + rename so readers never see partial content."""
+    tmp = path.with_name(path.name + f".tmp{os.getpid()}")
+    tmp.write_text(text)
+    os.replace(tmp, path)

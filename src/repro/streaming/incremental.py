@@ -432,6 +432,8 @@ class StreamFusionConfig(PatternFusionMinerConfig):
     slide, exactly as :class:`IncrementalPatternFusion` documents.
     """
 
+    EXECUTION_KNOBS = ("jobs",)  # pools are identical for every jobs value
+
     window: int | None = None
     policy: str = "auto"
     jobs: int = 1

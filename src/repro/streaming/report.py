@@ -117,8 +117,25 @@ class DriftReport:
         return sum(1 for s in self.slides if s.refused)
 
     def as_dicts(self) -> list[dict]:
-        """Plain-dict rows, for JSON export."""
+        """Plain-dict rows, for JSON export (and pattern-store streams)."""
         return [asdict(s) for s in self.slides]
+
+    @classmethod
+    def from_dicts(cls, rows: list[dict]) -> "DriftReport":
+        """Rebuild a report from :meth:`as_dicts` rows.
+
+        The reload path for slides persisted to a pattern store
+        (:meth:`repro.store.PatternStore.read_slides`): unknown keys raise
+        naming the record, so a stream written by a future field set fails
+        loudly instead of dropping telemetry.
+        """
+        report = cls()
+        for index, row in enumerate(rows):
+            try:
+                report.record(SlideStats(**row))
+            except TypeError as exc:
+                raise ValueError(f"slide record {index}: {exc}") from None
+        return report
 
     # ------------------------------------------------------------------
     # Rendering

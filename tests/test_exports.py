@@ -21,6 +21,8 @@ PUBLIC_PACKAGES = [
     "repro.experiments",
     "repro.mining",
     "repro.sequences",
+    "repro.serve",
+    "repro.store",
     "repro.streaming",
 ]
 
@@ -67,6 +69,8 @@ def test_streaming_and_sequences_reachable_from_top_level():
         "SlidingWindowDatabase", "IncrementalPatternFusion", "SlideStats",
         "TransactionSource", "SequenceDatabase", "sequence_pattern_fusion",
         "prefixspan", "Miner", "MINERS", "Pipeline",
+        "PatternStore", "Query", "mine_cached", "PatternServer",
+        "dataset_fingerprint",
     ):
         assert name in repro.__all__, name
         assert hasattr(repro, name), name

@@ -146,3 +146,62 @@ class TestPipeline:
         )
         largest = max(report.result.patterns, key=lambda p: p.size)
         assert largest.items == frozenset(range(40, 79))
+
+
+class TestStoreStage:
+    def test_store_stage_persists_bit_identically(self, toy_db, tmp_path):
+        from repro.store import PatternStore
+
+        report = (
+            Pipeline()
+            .dataset(toy_db)
+            .miner("eclat", minsup=2)
+            .store(tmp_path / "runs")
+            .run()
+        )
+        assert report.run_id is not None
+        assert report.store_path == str(tmp_path / "runs")
+        stored = PatternStore(tmp_path / "runs").load(report.run_id)
+        assert [(p.items, p.tidset) for p in stored.patterns] == [
+            (p.items, p.tidset) for p in report.result.patterns
+        ]
+        assert stored.miner == "eclat"
+        assert f"stored: run {report.run_id}" in report.format()
+
+    def test_store_stage_feeds_mine_cached(self, toy_db, tmp_path):
+        from repro.store import PatternStore, mine_cached
+
+        Pipeline().dataset(toy_db).miner("eclat", minsup=2).store(
+            tmp_path / "runs"
+        ).run()
+        outcome = mine_cached(
+            PatternStore(tmp_path / "runs"), "eclat", toy_db, minsup=2
+        )
+        assert outcome.hit
+
+    def test_transformed_result_is_what_gets_stored(self, toy_db, tmp_path):
+        from repro.store import PatternStore
+
+        report = (
+            Pipeline()
+            .dataset(toy_db)
+            .miner("eclat", minsup=2)
+            .transform(
+                lambda result: type(result)(
+                    algorithm=result.algorithm,
+                    minsup=result.minsup,
+                    patterns=[p for p in result.patterns if p.size >= 2],
+                    elapsed_seconds=result.elapsed_seconds,
+                )
+            )
+            .store(tmp_path / "runs")
+            .run()
+        )
+        stored = PatternStore(tmp_path / "runs").load(report.run_id)
+        assert all(p.size >= 2 for p in stored.patterns)
+        assert len(stored) == len(report.result)
+
+    def test_without_store_stage_no_run_id(self, toy_db):
+        report = Pipeline().dataset(toy_db).miner("eclat", minsup=2).run()
+        assert report.run_id is None
+        assert report.store_path is None

@@ -1,0 +1,177 @@
+"""HTTP smoke tests: a live PatternServer thread answering real requests.
+
+Each test drives the stdlib client against an ephemeral-port server over a
+store seeded with one Pattern-Fusion run — covering every route, the query
+LRU, warm /mine cache hits, and the error paths (404/400/403).
+"""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.datasets import diag_plus
+from repro.serve import PatternServer
+from repro.store import PatternStore, mine_cached
+
+
+def get(url):
+    with urllib.request.urlopen(url, timeout=10) as response:
+        return json.loads(response.read())
+
+
+def post(url, body):
+    request = urllib.request.Request(
+        url,
+        data=json.dumps(body).encode(),
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(request, timeout=10) as response:
+        return json.loads(response.read())
+
+
+def error_of(call):
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        call()
+    return excinfo.value.code, json.loads(excinfo.value.read())["error"]
+
+
+@pytest.fixture(scope="module")
+def served(tmp_path_factory):
+    store = PatternStore(tmp_path_factory.mktemp("serve") / "store")
+    outcome = mine_cached(
+        store, "pattern_fusion", diag_plus(),
+        minsup=20, k=10, initial_pool_max_size=2, seed=0,
+    )
+    store.append_slides("smoke", [{"index": 0}])
+    with PatternServer(store, port=0, cache_size=32) as server:
+        yield server, store, outcome
+
+
+class TestRoutes:
+    def test_health(self, served):
+        server, store, _ = served
+        payload = get(server.url + "/health")
+        assert payload["status"] == "ok"
+        assert payload["runs"] == len(store)
+        assert payload["streams"] == ["smoke"]
+        assert payload["mine_enabled"] is True
+
+    def test_miners_lists_registry(self, served):
+        server, _, _ = served
+        names = {m["name"] for m in get(server.url + "/miners")}
+        assert {"eclat", "pattern_fusion", "stream_fusion"} <= names
+
+    def test_runs_listing(self, served):
+        server, _, outcome = served
+        runs = get(server.url + "/runs")
+        assert [r["run_id"] for r in runs] == [outcome.run_id]
+        assert runs[0]["miner"] == "pattern_fusion"
+        assert runs[0]["n_patterns"] == len(outcome.result)
+
+    def test_run_detail_bit_identical(self, served):
+        server, _, outcome = served
+        detail = get(f"{server.url}/runs/{outcome.run_id}?limit=-1")
+        wire = [
+            (frozenset(r["items"]), int(r["tidset"], 16))
+            for r in detail["patterns"]
+        ]
+        assert wire == [(p.items, p.tidset) for p in outcome.result.patterns]
+
+    def test_run_detail_limit(self, served):
+        server, _, outcome = served
+        detail = get(f"{server.url}/runs/{outcome.run_id}?limit=2")
+        assert detail["patterns_shown"] == 2
+        assert len(detail["patterns"]) == 2
+
+    def test_query_matches_local_evaluation(self, served):
+        server, _, outcome = served
+        body = {
+            "run": outcome.run_id,
+            "query": {"min_size": 10, "top": 3},
+        }
+        payload = post(server.url + "/query", body)
+        from repro.store import Query
+
+        local = Query.from_dict(body["query"]).evaluate(outcome.result.patterns)
+        assert payload["count"] == len(local)
+        assert [frozenset(r["items"]) for r in payload["patterns"]] == [
+            p.items for p in local
+        ]
+
+    def test_query_cache_hits_on_repeat(self, served):
+        server, _, outcome = served
+        body = {"run": outcome.run_id, "query": {"min_support": 20, "top": 2}}
+        first = post(server.url + "/query", body)
+        hits_before = server.query_cache.hits
+        second = post(server.url + "/query", body)
+        assert second == first
+        assert server.query_cache.hits == hits_before + 1
+
+    def test_mine_warm_hit_same_run(self, served):
+        server, _, _ = served
+        body = {
+            "dataset": "diag", "n": 10,
+            "miner": "eclat", "config": {"minsup": 5, "max_size": 2},
+        }
+        cold = post(server.url + "/mine", body)
+        warm = post(server.url + "/mine", body)
+        assert cold["cached"] is False
+        assert warm["cached"] is True
+        assert warm["run"] == cold["run"]
+        assert warm["count"] == cold["count"]
+
+
+class TestErrors:
+    def test_unknown_route_404(self, served):
+        server, _, _ = served
+        code, message = error_of(lambda: get(server.url + "/nope"))
+        assert code == 404 and "no route" in message
+
+    def test_unknown_run_404(self, served):
+        server, _, _ = served
+        code, message = error_of(lambda: get(server.url + "/runs/deadbeef"))
+        assert code == 404 and "no run" in message
+
+    def test_bad_query_key_400(self, served):
+        server, _, outcome = served
+        code, message = error_of(lambda: post(
+            server.url + "/query",
+            {"run": outcome.run_id, "query": {"bogus": 1}},
+        ))
+        assert code == 400 and "bogus" in message
+
+    def test_unknown_miner_400(self, served):
+        server, _, _ = served
+        code, message = error_of(lambda: post(
+            server.url + "/mine", {"dataset": "diag", "miner": "nope"},
+        ))
+        assert code == 400 and "unknown miner" in message
+
+    def test_non_integer_limit_400(self, served):
+        server, _, _ = served
+        code, message = error_of(lambda: post(
+            server.url + "/mine",
+            {"dataset": "diag", "miner": "eclat",
+             "config": {"minsup": 5}, "limit": "10"},
+        ))
+        assert code == 400 and "limit" in message
+
+    def test_invalid_json_400(self, served):
+        server, _, _ = served
+        request = urllib.request.Request(
+            server.url + "/query", data=b"{not json",
+            headers={"Content-Type": "application/json"},
+        )
+        code, _ = error_of(lambda: urllib.request.urlopen(request, timeout=10))
+        assert code == 400
+
+    def test_mine_disabled_403(self, tmp_path):
+        store = PatternStore(tmp_path / "store")
+        with PatternServer(store, port=0, allow_mine=False) as server:
+            assert get(server.url + "/health")["mine_enabled"] is False
+            code, message = error_of(lambda: post(
+                server.url + "/mine", {"dataset": "diag", "miner": "eclat"},
+            ))
+        assert code == 403 and "disabled" in message
