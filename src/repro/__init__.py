@@ -58,6 +58,7 @@ from repro.engine import (
     parallel_pattern_fusion,
 )
 from repro.evaluation import approximate, approximation_error, edit_distance
+from repro.kernels import TidsetMatrix, available_backends, use_backend
 from repro.mining import (
     MiningResult,
     Pattern,
@@ -133,6 +134,10 @@ __all__ = [
     "ParallelExecutor",
     "make_executor",
     "parallel_pattern_fusion",
+    # tidset kernels
+    "TidsetMatrix",
+    "available_backends",
+    "use_backend",
     # evaluation
     "edit_distance",
     "approximate",

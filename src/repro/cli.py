@@ -38,6 +38,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from collections.abc import Sequence
 from pathlib import Path
@@ -318,6 +319,18 @@ def _add_engine_args(
     engine.add_argument("--partitioner", choices=PARTITIONERS,
                         default="round-robin",
                         help="row partitioner used with --shards")
+    engine.add_argument("--backend", choices=["auto", "stdlib", "numpy"],
+                        default="auto",
+                        help="tidset kernel backend (repro.kernels); "
+                             "backends are bit-identical — auto picks numpy "
+                             "when installed (also via env REPRO_KERNELS)")
+    engine.add_argument("--profile", action="store_true",
+                        help="run under cProfile and print the top "
+                             "cumulative functions (hot-path diagnosis)")
+    engine.add_argument("--profile-limit", type=_positive_int, default=25,
+                        metavar="N",
+                        help="rows of profile output with --profile "
+                             "(default 25)")
 
 
 def _add_dataset_args(parser: argparse.ArgumentParser) -> None:
@@ -849,7 +862,34 @@ def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    return _COMMANDS[args.command](args)
+    backend = getattr(args, "backend", "auto")
+    if backend != "auto":
+        from repro import kernels
+
+        try:
+            kernels.set_backend(backend)
+        except ValueError as error:
+            print(error, file=sys.stderr)
+            return 2
+        # Exported so spawned worker processes resolve the same backend even
+        # on platforms where module globals don't fork over.
+        os.environ[kernels.ENV_VAR] = backend
+    command = _COMMANDS[args.command]
+    if getattr(args, "profile", False):
+        return _profiled(command, args)
+    return command(args)
+
+
+def _profiled(command, args: argparse.Namespace) -> int:
+    """Run ``command`` under cProfile and print the top cumulative functions."""
+    import cProfile
+    import pstats
+
+    profiler = cProfile.Profile()
+    code = profiler.runcall(command, args)
+    stats = pstats.Stats(profiler, stream=sys.stdout)
+    stats.sort_stats("cumulative").print_stats(args.profile_limit)
+    return code
 
 
 if __name__ == "__main__":

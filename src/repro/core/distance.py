@@ -11,6 +11,8 @@ query.
 
 from __future__ import annotations
 
+from repro.db.bitset import jaccard
+from repro.kernels import TidsetMatrix
 from repro.mining.results import Pattern
 
 __all__ = ["pattern_distance", "tidset_distance", "ball_radius", "ball", "balls"]
@@ -20,13 +22,11 @@ def tidset_distance(tidset_a: int, tidset_b: int) -> float:
     """Jaccard distance between two support sets given as bitmasks.
 
     Two empty support sets are at distance 0 (both patterns occur nowhere;
-    they are indistinguishable by occurrences).
+    they are indistinguishable by occurrences) — the complement of
+    :func:`repro.db.bitset.jaccard`'s empty-similarity-1.0 convention, to
+    which this delegates.
     """
-    union = tidset_a | tidset_b
-    if union == 0:
-        return 0.0
-    intersection = tidset_a & tidset_b
-    return 1.0 - intersection.bit_count() / union.bit_count()
+    return 1.0 - jaccard(tidset_a, tidset_b)
 
 
 def pattern_distance(alpha: Pattern, beta: Pattern) -> float:
@@ -67,14 +67,18 @@ def balls(
 ) -> list[list[Pattern]]:
     """One ball per center, each exactly equal to :func:`ball` for that center.
 
-    The batched form of the range query: a single pass over the pool answers
-    every center, which is what the fusion drivers use to collect all K seed
-    CoreLists at once (and what keeps the pool traversal shared when the
-    pool is large).  Members are returned in pool order, like :func:`ball`.
+    The batched form of the range query: the pool's tidsets are packed into
+    one :class:`repro.kernels.TidsetMatrix` and every center's distance row
+    is computed in a single batched kernel call — per-center popcounts are
+    shared and zero-intersection rows exit without a union popcount (and the
+    NumPy backend vectorizes whole rows).  Answers are bit-identical to
+    per-pattern :func:`ball` scans; members are returned in pool order.
     """
-    members: list[list[Pattern]] = [[] for _ in centers]
-    for pattern in pool:
-        for position, center in enumerate(centers):
-            if tidset_distance(center.tidset, pattern.tidset) <= radius:
-                members[position].append(pattern)
-    return members
+    if not centers or not pool:
+        return [[] for _ in centers]
+    matrix = TidsetMatrix.from_patterns(pool)
+    rows = matrix.jaccard_distance_rows([c.tidset for c in centers])
+    return [
+        [pattern for pattern, distance in zip(pool, row) if distance <= radius]
+        for row in rows
+    ]

@@ -20,6 +20,7 @@ import random
 from dataclasses import dataclass
 
 from repro.db.transaction_db import TransactionDatabase
+from repro.kernels import TidsetMatrix
 from repro.mining.results import Pattern
 
 __all__ = ["FusionCandidate", "fuse_ball", "weighted_sample_without_replacement"]
@@ -56,9 +57,26 @@ def fuse_ball(
     (support set unchanged, so the core conditions still hold).
     """
     others = [p for p in ball_members if p.items != seed.items]
+    # Ball-local kernel matrix, built once and shared by every trial: the
+    # member supports (core-ratio ceilings) and each member's intersection
+    # with the seed come from two batched calls instead of per-member
+    # popcounts inside the greedy passes.  Since the running fusion tidset
+    # always stays within the seed's tidset, a member whose seed
+    # intersection is already below minsup can never be accepted — the
+    # greedy pass skips it without touching its tidset at all.
+    if others:
+        matrix = TidsetMatrix.from_patterns(others)
+        seed_caps = matrix.intersection_counts(seed.tidset)
+        member_supports = matrix.popcounts()
+    else:
+        seed_caps = []
+        member_supports = []
     best_by_items: dict[frozenset[int], FusionCandidate] = {}
     for _ in range(trials):
-        candidate = _greedy_fuse(db, seed, others, tau, minsup, rng, close_fused)
+        candidate = _greedy_fuse(
+            db, seed, others, seed_caps, member_supports, tau, minsup, rng,
+            close_fused,
+        )
         existing = best_by_items.get(candidate.pattern.items)
         if existing is None or candidate.n_fused > existing.n_fused:
             best_by_items[candidate.pattern.items] = candidate
@@ -77,6 +95,8 @@ def _greedy_fuse(
     db: TransactionDatabase,
     seed: Pattern,
     others: list[Pattern],
+    seed_caps: list[int],
+    member_supports: list[int],
     tau: float,
     minsup: int,
     rng: random.Random,
@@ -101,12 +121,17 @@ def _greedy_fuse(
     order = list(range(len(others)))
     rng.shuffle(order)
     for index in order:
+        if seed_caps[index] < minsup:
+            # merged ⊆ running ∩ member ⊆ seed ∩ member: the batched seed
+            # intersection already caps this member below threshold, so the
+            # reject is certain — skip the big-int work entirely.
+            continue
         member = others[index]
         merged_tidset = tidset & member.tidset
         merged_support = merged_tidset.bit_count()
         if merged_support < minsup:
             continue
-        ceiling = max(max_member_support, member.support)
+        ceiling = max(max_member_support, member_supports[index])
         if merged_support < tau * ceiling:
             continue
         tidset = merged_tidset

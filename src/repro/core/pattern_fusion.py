@@ -32,6 +32,7 @@ from repro.core.config import PatternFusionConfig
 from repro.core.distance import ball_radius, balls
 from repro.core.fusion import fuse_ball
 from repro.db.transaction_db import TransactionDatabase
+from repro.kernels import use_backend
 from repro.mining.levelwise import mine_up_to_size
 from repro.mining.results import MiningResult, Pattern, largest_patterns
 
@@ -156,7 +157,16 @@ class PatternFusion:
         return result.patterns
 
     def run(self, initial_pool: list[Pattern] | None = None) -> PatternFusionResult:
-        """Phase 2: iterate Algorithm 2 until the pool fits in K patterns."""
+        """Phase 2: iterate Algorithm 2 until the pool fits in K patterns.
+
+        Runs under the config's tidset-kernel backend (``backend="auto"``
+        keeps the ambient process-wide selection); backends are
+        bit-identical, so the pool never depends on the choice.
+        """
+        with use_backend(self.config.backend):
+            return self._run(initial_pool)
+
+    def _run(self, initial_pool: list[Pattern] | None) -> PatternFusionResult:
         config = self.config
         rng = random.Random(config.seed)
         start = time.perf_counter()
@@ -256,6 +266,8 @@ class PatternFusionMinerConfig(MinerConfig, PatternFusionConfig):
     algorithm's own config type; validation is inherited, so an invalid knob
     still fails at construction time.
     """
+
+    EXECUTION_KNOBS = ("backend",)  # kernel backends are bit-identical
 
     minsup: float | int = 2
 

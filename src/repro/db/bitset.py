@@ -10,6 +10,12 @@ frequent-pattern miners do in their inner loops.
 The module is deliberately free of classes: a bitset *is* an ``int``, so all
 helpers are plain functions that can be inlined mentally (and by the reader)
 wherever they are used.
+
+For *batched* work — popcounts, intersection sizes, distance rows, or
+superset tests over many tidsets at once — use :mod:`repro.kernels`: its
+:class:`~repro.kernels.TidsetMatrix` packs a pool of tidsets once and
+answers those primitives per call (vectorized under the optional NumPy
+backend), bit-identically to looping over these functions.
 """
 
 from __future__ import annotations
@@ -114,15 +120,17 @@ def is_superset(outer: int, inner: int) -> bool:
     return inner & ~outer == 0
 
 
-def jaccard(a: int, b: int) -> float:
+def jaccard(a: int, b: int, *, empty: float = 1.0) -> float:
     """Jaccard similarity |a ∩ b| / |a ∪ b| of two tidsets.
 
-    The Jaccard similarity of two empty sets is defined here as 1.0 (they are
-    identical), which keeps ``1 - jaccard`` a proper distance.
+    ``empty`` is the value returned for two empty sets.  The default 1.0
+    (they are identical) keeps ``1 - jaccard`` a proper distance; pattern
+    distance (:func:`repro.core.distance.tidset_distance`) delegates here
+    with the same convention, so the two surfaces can never drift apart.
     """
     union = a | b
     if union == 0:
-        return 1.0
+        return empty
     return (a & b).bit_count() / union.bit_count()
 
 

@@ -18,6 +18,8 @@ from collections.abc import Hashable, Iterable, Sequence
 
 from repro.db import bitset
 from repro.db.encoder import ItemEncoder
+from repro.kernels import TidsetMatrix
+from repro.kernels.backend import backend as active_kernels_backend
 
 __all__ = ["TransactionDatabase", "absolute_minsup"]
 
@@ -93,6 +95,29 @@ class TransactionDatabase:
             for item in row:
                 masks[item] |= bit
         self._item_tidsets: tuple[int, ...] = tuple(masks)
+        self._item_matrix_cache: TidsetMatrix | None = None
+
+    def _item_matrix(self) -> TidsetMatrix:
+        """The item-tidset rows packed for the active kernels backend.
+
+        Built lazily (tiny databases never pay for it) and rebuilt when the
+        backend selection changes mid-process (tests flip backends; results
+        are bit-identical either way).
+        """
+        matrix = self._item_matrix_cache
+        if matrix is None or matrix.backend != active_kernels_backend():
+            matrix = TidsetMatrix.from_tidsets(
+                self._item_tidsets, n_bits=len(self._transactions)
+            )
+            self._item_matrix_cache = matrix
+        return matrix
+
+    def __getstate__(self) -> dict:
+        # The kernel matrix is derived data; dropping it keeps worker-bound
+        # pickles lean and sidesteps shipping backend-specific buffers.
+        state = self.__dict__.copy()
+        state["_item_matrix_cache"] = None
+        return state
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -153,11 +178,14 @@ class TransactionDatabase:
     # Support queries (the heart of Lemma 1)
     # ------------------------------------------------------------------
 
-    def item_tidset(self, item: int) -> int:
-        """Bitset of transactions containing a single item."""
+    def _check_item(self, item: int) -> int:
         if not 0 <= item < self._n_items:
             raise ValueError(f"item {item} outside universe of {self._n_items}")
-        return self._item_tidsets[item]
+        return item
+
+    def item_tidset(self, item: int) -> int:
+        """Bitset of transactions containing a single item."""
+        return self._item_tidsets[self._check_item(item)]
 
     def tidset(self, itemset: Iterable[int]) -> int:
         """Support set D_α of an itemset, as a bitset.
@@ -175,6 +203,27 @@ class TransactionDatabase:
     def support(self, itemset: Iterable[int]) -> int:
         """Absolute support |D_α|."""
         return self.tidset(itemset).bit_count()
+
+    def tidsets(self, itemsets: Sequence[Iterable[int]]) -> list[int]:
+        """Bulk :meth:`tidset`: one support set per itemset, in order.
+
+        The batch rides the tidset kernel layer — each itemset is an AND
+        reduction over its item rows in the packed matrix, so large batches
+        (engine audits, store refreshes) avoid per-item big-int churn under
+        the NumPy backend.  Answers equal per-itemset :meth:`tidset` calls.
+        """
+        matrix = self._item_matrix()
+        return [
+            matrix.intersect_reduce(
+                rows=[self._check_item(item) for item in itemset],
+                start=self._universe,
+            )
+            for itemset in itemsets
+        ]
+
+    def supports(self, itemsets: Sequence[Iterable[int]]) -> list[int]:
+        """Bulk :meth:`support`: one absolute support per itemset, in order."""
+        return [tidset.bit_count() for tidset in self.tidsets(itemsets)]
 
     def relative_support(self, itemset: Iterable[int]) -> float:
         """Relative support s(α) = |D_α| / |D| (0.0 for an empty database)."""
@@ -201,11 +250,9 @@ class TransactionDatabase:
         """
         if tidset == 0:
             return frozenset(range(self._n_items))
-        return frozenset(
-            item
-            for item, mask in enumerate(self._item_tidsets)
-            if tidset & ~mask == 0
-        )
+        # One batched superset test over every item row (Galois adjoint):
+        # item ∈ closure(t) iff t ⊆ tidset(item).
+        return frozenset(self._item_matrix().closure_items(tidset))
 
     def closure(self, itemset: Iterable[int]) -> frozenset[int]:
         """Galois closure of an itemset: all items shared by its supporters.
@@ -230,8 +277,8 @@ class TransactionDatabase:
             raise ValueError(f"minsup must be >= 1, got {minsup}")
         return [
             item
-            for item, mask in enumerate(self._item_tidsets)
-            if mask.bit_count() >= minsup
+            for item, count in enumerate(self._item_matrix().popcounts())
+            if count >= minsup
         ]
 
     # ------------------------------------------------------------------

@@ -42,6 +42,8 @@ from repro.core.fusion import fuse_ball
 from repro.core.pattern_fusion import PatternFusionMinerConfig
 from repro.db.transaction_db import TransactionDatabase
 from repro.engine.executor import Executor, make_executor, map_chunks, worker_payload
+from repro.kernels import use_backend
+from repro.kernels.backend import backend as kernels_backend
 from repro.mining.results import MiningResult, Pattern
 
 __all__ = [
@@ -77,28 +79,33 @@ class _RoundPayload:
     trials: int
     max_candidates: int
     close_fused: bool
+    backend: str
+    """Tidset-kernel backend resolved on the driver; workers mirror it so a
+    ``backend`` config knob (or CLI ``--backend``) governs the whole round
+    even on spawn-start platforms where globals don't fork over."""
 
 
 def _fuse_task_chunk(chunk: list[FusionTask]) -> list[list[Pattern]]:
     """Worker body: run the fusion passes for each task in the chunk."""
     payload: _RoundPayload = worker_payload()
     results: list[list[Pattern]] = []
-    for task in chunk:
-        seed = payload.pool[task.seed_index]
-        members = [payload.pool[i] for i in task.member_indices]
-        results.append(
-            fuse_ball(
-                payload.db,
-                seed,
-                members,
-                tau=payload.tau,
-                minsup=payload.minsup,
-                rng=random.Random(task.child_seed),
-                trials=payload.trials,
-                max_candidates=payload.max_candidates,
-                close_fused=payload.close_fused,
+    with use_backend(payload.backend):
+        for task in chunk:
+            seed = payload.pool[task.seed_index]
+            members = [payload.pool[i] for i in task.member_indices]
+            results.append(
+                fuse_ball(
+                    payload.db,
+                    seed,
+                    members,
+                    tau=payload.tau,
+                    minsup=payload.minsup,
+                    rng=random.Random(task.child_seed),
+                    trials=payload.trials,
+                    max_candidates=payload.max_candidates,
+                    close_fused=payload.close_fused,
+                )
             )
-        )
     return results
 
 
@@ -151,6 +158,7 @@ def parallel_fusion_round(
         trials=config.fusion_trials,
         max_candidates=config.max_candidates_per_seed,
         close_fused=config.close_fused,
+        backend=kernels_backend(),
     )
     fused_lists = map_chunks(executor, _fuse_task_chunk, tasks, payload)
     fused_by_items: dict[frozenset[int], Pattern] = {}
@@ -195,7 +203,8 @@ def parallel_pattern_fusion(
 class ParallelFusionConfig(PatternFusionMinerConfig):
     """Engine-driver knobs: the fusion config + ``minsup`` + ``jobs``."""
 
-    EXECUTION_KNOBS = ("jobs",)  # pools are identical for every jobs value
+    # Pools are identical for every jobs value and every kernel backend.
+    EXECUTION_KNOBS = ("jobs", "backend")
 
     jobs: int = 1
 

@@ -99,9 +99,10 @@ def _shard_supports(chunk: tuple[tuple[int, ...], tuple[tuple[int, ...], ...]]):
     shards: tuple[TransactionDatabase, ...] = worker_payload()
     totals = [0] * len(itemsets)
     for j in shard_indices:
-        shard = shards[j]
-        for position, itemset in enumerate(itemsets):
-            totals[position] += shard.support(itemset)
+        # Bulk per-shard counting rides the tidset kernel layer (one packed
+        # item matrix per shard, reused across the whole batch).
+        for position, count in enumerate(shards[j].supports(itemsets)):
+            totals[position] += count
     return totals
 
 
@@ -242,7 +243,11 @@ class ShardedDatabase:
         if not batch:
             return []
         if executor is None or executor.jobs == 1 or self.n_shards == 1:
-            return [self.support(items) for items in batch]
+            totals = [0] * len(batch)
+            for shard in self._shards:
+                for position, count in enumerate(shard.supports(batch)):
+                    totals[position] += count
+            return totals
         shard_chunks = split_chunks(range(self.n_shards), executor.jobs)
         chunks = [(tuple(indices), batch) for indices in shard_chunks]
         return executor.map_reduce(

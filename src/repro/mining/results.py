@@ -53,11 +53,18 @@ class Pattern:
 
     items: frozenset[int]
     tidset: int = field(compare=False)
+    _support: int = field(init=False, repr=False, compare=False, default=-1)
+
+    def __post_init__(self) -> None:
+        # Popcount once at construction: ``support`` feeds sort keys, stats,
+        # ranking, and fusion ceilings, so recounting the (possibly
+        # thousands-of-bits) tidset on every access is pure waste.
+        object.__setattr__(self, "_support", self.tidset.bit_count())
 
     @property
     def support(self) -> int:
-        """Absolute support |D_α|."""
-        return self.tidset.bit_count()
+        """Absolute support |D_α| (popcounted once at construction)."""
+        return self._support
 
     @property
     def size(self) -> int:

@@ -48,6 +48,8 @@ from repro.engine.executor import (
     map_chunks,
     worker_payload,
 )
+from repro.kernels import TidsetMatrix, use_backend
+from repro.kernels.backend import backend as kernels_backend
 from repro.mining.levelwise import mine_up_to_size
 from repro.mining.results import MiningResult, Pattern, largest_patterns
 from repro.streaming.report import DriftReport, SlideStats
@@ -88,20 +90,39 @@ def slide_seed(seed: int | None, slide: int) -> int:
 def _shift_chunk(chunk: list[tuple[frozenset[int], int]]) -> list[int]:
     """Worker body: revalidate carried tidsets against the slide delta.
 
-    The payload is ``(kept_rows, evicted, base_len)``: the batch rows that
-    survived into the window, how many window-local positions the old rows
-    shifted down, and the local position the first kept row landed on.  Each
-    carried ``(items, tidset)`` maps to its new-window tidset without
-    touching the window itself.
+    The payload is ``(kept_rows, evicted, base_len, backend)``: the batch
+    rows that survived into the window, how many window-local positions the
+    old rows shifted down, the local position the first kept row landed on,
+    and the kernels backend resolved on the driver.  Each carried ``(items,
+    tidset)`` maps to its new-window tidset without touching the window
+    itself.
+
+    The containment bits ride the tidset kernel layer: the kept rows are
+    transposed once into per-item position masks (a miniature vertical
+    database over the delta), so each carried itemset's bits are a Lemma-1
+    AND reduction instead of a scan over every kept row.
     """
-    kept_rows, evicted, base_len = worker_payload()
-    out: list[int] = []
-    for items, tidset in chunk:
-        delta = 0
+    kept_rows, evicted, base_len, backend = worker_payload()
+    with use_backend(backend):
+        masks: dict[int, int] = {}
         for position, row in enumerate(kept_rows):
-            if items <= row:
-                delta |= 1 << position
-        out.append((tidset >> evicted) | (delta << base_len))
+            bit = 1 << position
+            for item in row:
+                masks[item] = masks.get(item, 0) | bit
+        items_present = sorted(masks)
+        row_of = {item: i for i, item in enumerate(items_present)}
+        matrix = TidsetMatrix.from_tidsets(
+            (masks[item] for item in items_present), n_bits=len(kept_rows)
+        )
+        universe = (1 << len(kept_rows)) - 1
+        out: list[int] = []
+        for items, tidset in chunk:
+            rows = [row_of[item] for item in items if item in row_of]
+            if len(rows) != len(items):
+                delta = 0  # some item occurs in no arriving row
+            else:
+                delta = matrix.intersect_reduce(rows=rows, start=universe)
+            out.append((tidset >> evicted) | (delta << base_len))
     return out
 
 
@@ -342,7 +363,9 @@ class IncrementalPatternFusion:
         pool_entries = [(p.items, p.tidset) for p in self._patterns]
         combined = entries + pool_entries
         if combined:
-            payload = (tuple(kept), evicted_old, surviving_old)
+            payload = (
+                tuple(kept), evicted_old, surviving_old, kernels_backend()
+            )
             shifted = map_chunks(self.executor, _shift_chunk, combined, payload)
         else:
             shifted = []
@@ -432,7 +455,8 @@ class StreamFusionConfig(PatternFusionMinerConfig):
     slide, exactly as :class:`IncrementalPatternFusion` documents.
     """
 
-    EXECUTION_KNOBS = ("jobs",)  # pools are identical for every jobs value
+    # Pools are identical for every jobs value and every kernel backend.
+    EXECUTION_KNOBS = ("jobs", "backend")
 
     window: int | None = None
     policy: str = "auto"

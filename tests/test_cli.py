@@ -122,6 +122,70 @@ class TestEngineFlags:
         assert "size-balanced" in out
 
 
+class TestKernelFlags:
+    @pytest.fixture(autouse=True)
+    def _restore_backend(self):
+        # --backend forces the process-wide kernels selection and exports
+        # REPRO_KERNELS for worker processes; undo both after each test
+        # (monkeypatch.delenv on an *absent* var registers no teardown, so
+        # the export main() performs inside the test would leak).
+        import os
+
+        from repro import kernels
+
+        saved = os.environ.pop(kernels.ENV_VAR, None)
+        yield
+        kernels.set_backend(None)
+        if saved is None:
+            os.environ.pop(kernels.ENV_VAR, None)
+        else:
+            os.environ[kernels.ENV_VAR] = saved
+
+    def test_fuse_backend_invariant(self, capsys):
+        from repro import kernels
+
+        base = ["fuse", "--dataset", "diag-plus", "--minsup", "20",
+                "--k", "10", "--pool-size", "2", "--seed", "0"]
+
+        def mined_lines(text):
+            return [line for line in text.splitlines() if "size" in line]
+
+        assert main(base + ["--backend", "stdlib"]) == 0
+        slow = capsys.readouterr().out
+        assert kernels.backend() == "stdlib"
+        backends = ["stdlib"] + (
+            ["numpy"] if kernels.numpy_available() else []
+        )
+        for name in backends:
+            assert main(base + ["--backend", name]) == 0
+            assert mined_lines(capsys.readouterr().out) == mined_lines(slow)
+
+    def test_backend_rejects_unavailable(self, capsys, monkeypatch):
+        import importlib
+
+        backend_module = importlib.import_module("repro.kernels.backend")
+        monkeypatch.setattr(
+            backend_module, "_import_numpy",
+            lambda: (_ for _ in ()).throw(ImportError("simulated")),
+        )
+        backend_module._reset_probe_cache()
+        try:
+            code = main(["mine", "--dataset", "diag", "--n", "8",
+                         "--minsup", "4", "--backend", "numpy"])
+            assert code == 2
+            assert "numpy is not installed" in capsys.readouterr().err
+        finally:
+            backend_module._reset_probe_cache()
+
+    def test_mine_profile_prints_hot_functions(self, dat_file, capsys):
+        code = main(["mine", "--input", str(dat_file), "--minsup", "2",
+                     "--profile", "--profile-limit", "5"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "cumulative" in out  # the pstats table header
+        assert "patterns" in out    # the mining output still printed
+
+
 class TestEvaluate:
     def test_roundtrip(self, dat_file, tmp_path, capsys):
         mined = tmp_path / "mined.dat"

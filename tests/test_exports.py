@@ -19,6 +19,7 @@ PUBLIC_PACKAGES = [
     "repro.engine",
     "repro.evaluation",
     "repro.experiments",
+    "repro.kernels",
     "repro.mining",
     "repro.sequences",
     "repro.serve",

@@ -1,0 +1,355 @@
+"""Tests for the tidset kernel layer (:mod:`repro.kernels`).
+
+Three obligations are pinned here:
+
+* **Backend agreement** — the stdlib and NumPy :class:`TidsetMatrix`
+  implementations return *identical* counts, masks, reductions, and
+  distances on random matrices, including ragged widths, empty tidsets,
+  empty matrices, and masks far beyond 64 bits.
+* **Reference semantics** — both backends match the naive big-int
+  formulations the rest of the package historically used.
+* **Selection** — ``backend()`` resolution (auto / env / forced), the
+  crisp errors for unknown or unavailable backends, and the
+  numpy-less-install path (simulated by failing the import probe).
+
+Plus the end-to-end guarantee the refactor rests on: ``pattern_fusion``
+output is bit-identical under both backends.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.distance import tidset_distance
+from repro.kernels import (
+    TidsetMatrix,
+    available_backends,
+    backend,
+    numpy_available,
+    set_backend,
+    use_backend,
+)
+from repro.kernels.backend import _reset_probe_cache
+
+NUMPY = numpy_available()
+
+needs_numpy = pytest.mark.skipif(not NUMPY, reason="numpy not installed")
+
+# Tidsets spanning sub-word, multi-word, and very wide widths (ragged).
+tidset_ints = st.one_of(
+    st.integers(min_value=0, max_value=2**20),
+    st.integers(min_value=0, max_value=2**70),
+    st.integers(min_value=0, max_value=2**300),
+)
+tidset_lists = st.lists(tidset_ints, max_size=12)
+
+
+def both_matrices(rows, n_bits=None):
+    stdlib = TidsetMatrix.from_tidsets(rows, n_bits=n_bits, backend="stdlib")
+    numpy_ = TidsetMatrix.from_tidsets(rows, n_bits=n_bits, backend="numpy")
+    return stdlib, numpy_
+
+
+@needs_numpy
+class TestBackendAgreement:
+    @settings(max_examples=150, deadline=None)
+    @given(tidset_lists, tidset_ints)
+    def test_counts_and_masks_agree(self, rows, query):
+        a, b = both_matrices(rows)
+        assert a.rows() == b.rows() == rows
+        assert a.popcounts() == b.popcounts()
+        assert a.intersection_counts(query) == b.intersection_counts(query)
+        assert a.union_counts(query) == b.union_counts(query)
+        assert a.superset_mask(query) == b.superset_mask(query)
+        assert a.intersects_mask(query) == b.intersects_mask(query)
+        assert a.closure_items(query) == b.closure_items(query)
+
+    @settings(max_examples=150, deadline=None)
+    @given(tidset_lists, st.lists(tidset_ints, max_size=6))
+    def test_distance_rows_bit_identical(self, rows, queries):
+        a, b = both_matrices(rows)
+        # == on floats: bit-identical is the contract, not approximately.
+        assert a.jaccard_distance_rows(queries) == b.jaccard_distance_rows(queries)
+        assert a.jaccard_distance_rows(queries, empty=1.0) == (
+            b.jaccard_distance_rows(queries, empty=1.0)
+        )
+
+    @settings(max_examples=100, deadline=None)
+    @given(tidset_lists, st.sampled_from([0.0, 1.0]))
+    def test_distance_matrix_agrees_elementwise(self, rows, empty):
+        a, b = both_matrices(rows)
+        slow = a.jaccard_distance_matrix(empty=empty)
+        fast = b.jaccard_distance_matrix(empty=empty)
+        n = len(rows)
+        assert len(slow) == n and len(fast) == n
+        for i in range(n):
+            for j in range(n):
+                assert slow[i][j] == fast[i][j]  # bit-identical floats
+            assert slow[i][i] in (0.0, empty)
+        # ...and both equal the row-at-a-time kernel on the same inputs.
+        by_rows = a.jaccard_distance_rows(rows, empty=empty)
+        for i in range(n):
+            assert list(slow[i]) == by_rows[i]
+
+    @settings(max_examples=100, deadline=None)
+    @given(tidset_lists, tidset_ints)
+    def test_reductions_agree(self, rows, start):
+        a, b = both_matrices(rows)
+        if rows:
+            assert a.intersect_reduce() == b.intersect_reduce()
+        assert a.intersect_reduce(start=start) == b.intersect_reduce(start=start)
+        assert a.union_reduce() == b.union_reduce()
+        assert a.union_reduce(start=start) == b.union_reduce(start=start)
+        indices = [i for i in range(len(rows)) if i % 2 == 0]
+        assert a.intersect_reduce(rows=indices, start=start) == (
+            b.intersect_reduce(rows=indices, start=start)
+        )
+        assert a.union_reduce(rows=indices) == b.union_reduce(rows=indices)
+
+    def test_empty_matrix(self):
+        a, b = both_matrices([])
+        assert a.popcounts() == b.popcounts() == []
+        assert a.superset_mask(7) == b.superset_mask(7) == 0
+        assert a.intersects_mask(7) == b.intersects_mask(7) == 0
+        assert a.jaccard_distance_rows([3]) == b.jaccard_distance_rows([3]) == [[]]
+        assert len(a.jaccard_distance_matrix()) == 0
+        assert len(b.jaccard_distance_matrix()) == 0
+        assert a.union_reduce() == b.union_reduce() == 0
+        for matrix in (a, b):
+            with pytest.raises(ValueError):
+                matrix.intersect_reduce()
+
+
+class TestReferenceSemantics:
+    """Each backend against the naive big-int formulation."""
+
+    backends = ["stdlib"] + (["numpy"] if NUMPY else [])
+
+    @pytest.mark.parametrize("name", backends)
+    def test_matches_naive_bitset_math(self, name):
+        rng = random.Random(7)
+        rows = [rng.getrandbits(200) for _ in range(40)] + [0, (1 << 130) - 1]
+        queries = [rng.getrandbits(200) for _ in range(5)] + [0, 1 << 400]
+        matrix = TidsetMatrix.from_tidsets(rows, backend=name)
+        assert matrix.popcounts() == [r.bit_count() for r in rows]
+        for q in queries:
+            assert matrix.intersection_counts(q) == [
+                (r & q).bit_count() for r in rows
+            ]
+            assert matrix.union_counts(q) == [(r | q).bit_count() for r in rows]
+            assert matrix.superset_mask(q) == sum(
+                1 << i for i, r in enumerate(rows) if q & ~r == 0
+            )
+            assert matrix.intersects_mask(q) == sum(
+                1 << i for i, r in enumerate(rows) if r & q
+            )
+            assert matrix.jaccard_distance_rows([q])[0] == [
+                tidset_distance(q, r) for r in rows
+            ]
+        start = queries[0]
+        reduced = start
+        for r in rows:
+            reduced &= r
+        assert matrix.intersect_reduce(start=start) == reduced
+        united = 0
+        for r in rows:
+            united |= r
+        assert matrix.union_reduce() == united
+
+    @pytest.mark.parametrize("name", backends)
+    def test_n_bits_validation(self, name):
+        with pytest.raises(ValueError):
+            TidsetMatrix.from_tidsets([0b1011], n_bits=2, backend=name)
+        with pytest.raises(ValueError):
+            TidsetMatrix.from_tidsets([-1], backend=name)
+        matrix = TidsetMatrix.from_tidsets([0b1011], n_bits=4, backend=name)
+        assert matrix.n_bits == 4 and matrix.n_rows == 1
+
+    def test_from_patterns_shares_pool_order(self):
+        from repro.mining.results import Pattern
+
+        pool = [
+            Pattern(items=frozenset({i}), tidset=(1 << i) | 1) for i in range(5)
+        ]
+        matrix = TidsetMatrix.from_patterns(pool, backend="stdlib")
+        assert matrix.rows() == [p.tidset for p in pool]
+
+
+@needs_numpy
+def test_pre2_numpy_lut_fallback(monkeypatch):
+    """Without numpy.bitwise_count (NumPy < 2.0) the LUT path must agree."""
+    import numpy as np
+
+    monkeypatch.delattr(np, "bitwise_count")
+    rng = random.Random(3)
+    rows = [rng.getrandbits(300) for _ in range(30)] + [0]
+    queries = [rng.getrandbits(300) for _ in range(4)] + [0]
+    slow = TidsetMatrix.from_tidsets(rows, backend="stdlib")
+    fast = TidsetMatrix.from_tidsets(rows, backend="numpy")
+    assert slow.popcounts() == fast.popcounts()
+    for q in queries:
+        assert slow.intersection_counts(q) == fast.intersection_counts(q)
+    assert slow.jaccard_distance_rows(queries) == (
+        fast.jaccard_distance_rows(queries)
+    )
+    matrix = fast.jaccard_distance_matrix()
+    reference = slow.jaccard_distance_matrix()
+    for i in range(len(rows)):
+        assert list(matrix[i]) == reference[i]
+
+
+class TestSelection:
+    def test_available_always_has_stdlib(self):
+        assert "stdlib" in available_backends()
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown kernels backend"):
+            set_backend("cupy")
+        with pytest.raises(ValueError, match="unknown kernels backend"):
+            TidsetMatrix.from_tidsets([1], backend="cupy")
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNELS", "stdlib")
+        set_backend(None)
+        assert backend() == "stdlib"
+        monkeypatch.setenv("REPRO_KERNELS", "bogus")
+        with pytest.raises(ValueError, match="unknown kernels backend"):
+            backend()
+        monkeypatch.setenv("REPRO_KERNELS", "auto")
+        assert backend() in ("stdlib", "numpy")
+
+    def test_use_backend_scopes_and_restores(self):
+        before = backend()
+        with use_backend("stdlib"):
+            assert backend() == "stdlib"
+            matrix = TidsetMatrix.from_tidsets([3, 5])
+            assert matrix.backend == "stdlib"
+        assert backend() == before
+
+    def test_use_backend_auto_is_noop(self):
+        with use_backend("stdlib"):
+            with use_backend("auto"):
+                assert backend() == "stdlib"
+            with use_backend(None):
+                assert backend() == "stdlib"
+
+    @needs_numpy
+    def test_auto_prefers_numpy(self, monkeypatch):
+        monkeypatch.delenv("REPRO_KERNELS", raising=False)
+        set_backend(None)
+        assert backend() == "numpy"
+
+
+class TestWithoutNumpy:
+    """The install-without-numpy path, simulated by failing the probe."""
+
+    @pytest.fixture()
+    def no_numpy(self, monkeypatch):
+        import importlib
+
+        # ``repro.kernels.backend`` the *attribute* is the accessor function
+        # (deliberate shadowing); go through importlib for the module.
+        backend_module = importlib.import_module("repro.kernels.backend")
+
+        def refuse():
+            raise ImportError("No module named 'numpy' (simulated)")
+
+        monkeypatch.setattr(backend_module, "_import_numpy", refuse)
+        _reset_probe_cache()
+        yield
+        _reset_probe_cache()
+
+    def test_falls_back_to_stdlib(self, no_numpy, monkeypatch):
+        monkeypatch.delenv("REPRO_KERNELS", raising=False)
+        set_backend(None)
+        assert available_backends() == ("stdlib",)
+        assert backend() == "stdlib"
+        matrix = TidsetMatrix.from_tidsets([0b101, 0b011])
+        assert matrix.backend == "stdlib"
+        assert matrix.popcounts() == [2, 2]
+
+    def test_requesting_numpy_errors_crisply(self, no_numpy):
+        with pytest.raises(ValueError, match="numpy is not installed"):
+            set_backend("numpy")
+        with pytest.raises(ValueError, match="numpy is not installed"):
+            with use_backend("numpy"):
+                pass  # pragma: no cover - the enter must already raise
+
+    def test_mining_still_works(self, no_numpy, monkeypatch):
+        monkeypatch.delenv("REPRO_KERNELS", raising=False)
+        set_backend(None)
+        from repro.core.pattern_fusion import pattern_fusion
+        from repro.datasets import diag_plus
+
+        db = diag_plus()
+        result = pattern_fusion(db, 20, _small_config())
+        assert result.patterns
+
+
+def _small_config():
+    from repro.core.config import PatternFusionConfig
+
+    return PatternFusionConfig(k=10, initial_pool_max_size=2, seed=0)
+
+
+@needs_numpy
+class TestEndToEndBitIdentity:
+    """Whole-pipeline agreement: backends never change mined output."""
+
+    def test_pattern_fusion_identical_across_backends(self):
+        from repro.core.pattern_fusion import pattern_fusion
+        from repro.datasets import diag_plus
+
+        db = diag_plus()
+        with use_backend("stdlib"):
+            cold = pattern_fusion(db, 20, _small_config())
+        with use_backend("numpy"):
+            fast = pattern_fusion(db, 20, _small_config())
+        assert [(p.items, p.tidset) for p in cold.patterns] == (
+            [(p.items, p.tidset) for p in fast.patterns]
+        )
+        assert cold.history == fast.history
+
+    def test_backend_config_knob_is_identity_neutral(self):
+        from dataclasses import replace
+
+        from repro.core.pattern_fusion import pattern_fusion
+        from repro.core.pattern_fusion import PatternFusionMinerConfig
+        from repro.datasets import diag_plus
+
+        db = diag_plus()
+        via_knob = pattern_fusion(
+            db, 20, replace(_small_config(), backend="stdlib")
+        )
+        ambient = pattern_fusion(db, 20, _small_config())
+        assert [(p.items, p.tidset) for p in via_knob.patterns] == (
+            [(p.items, p.tidset) for p in ambient.patterns]
+        )
+        # The knob never reaches content-hashed run identity.
+        config = PatternFusionMinerConfig(minsup=2, backend="stdlib")
+        assert "backend" not in config.identity_dict()
+        assert config.to_dict()["backend"] == "stdlib"
+
+    def test_closure_and_balls_agree(self):
+        from repro.core.distance import balls
+        from repro.datasets import diag_plus
+        from repro.mining.results import make_pattern
+
+        db = diag_plus()
+        patterns = [make_pattern(db, [i]) for i in range(db.n_items)]
+        with use_backend("stdlib"):
+            slow_balls = balls(patterns[:5], patterns, 0.4)
+            slow_closures = [db.closure_of_tidset(p.tidset) for p in patterns]
+            slow_bulk = db.supports([p.items for p in patterns])
+        fresh = diag_plus()  # avoid any cached matrix crossing backends
+        with use_backend("numpy"):
+            fast_balls = balls(patterns[:5], patterns, 0.4)
+            fast_closures = [
+                fresh.closure_of_tidset(p.tidset) for p in patterns
+            ]
+            fast_bulk = fresh.supports([p.items for p in patterns])
+        assert slow_balls == fast_balls
+        assert slow_closures == fast_closures
+        assert slow_bulk == fast_bulk
