@@ -1,0 +1,143 @@
+"""Telemetry overhead benchmarks: what instrumentation costs, on and off.
+
+The observability contract is that disabled tracing is effectively free:
+every instrumented hot path pays one ``TRACER.enabled`` attribute check
+returning a shared no-op span.  This suite times the primitives (disabled
+span, enabled span into a ring buffer, counter increment, histogram
+observation) and a full Pattern-Fusion run with tracing off vs on — and
+*asserts* the disabled overhead stays under 5% of the end-to-end run, by
+extrapolating the measured per-disabled-span cost over the number of spans
+the run actually opens.
+
+Session end writes ``BENCH_obs.json`` at the repository root (see
+``benchmarks/conftest.py``); committing it tracks the overhead across PRs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.core import PatternFusionConfig, pattern_fusion
+from repro.datasets import replace_like
+from repro.obs import clock, metrics, trace
+from repro.obs.trace import TRACER, RingBufferSink
+
+# Replace-sim scale (the kernels suite's reference workload): 2,000
+# transactions, multi-thousand-pattern initial pool.
+CONFIG = PatternFusionConfig(k=10, initial_pool_max_size=2, seed=7)
+MINSUP = 0.03
+
+#: Disabled-span loop size: large enough that per-iteration noise averages
+#: out, small enough to stay microseconds per round.
+PRIMITIVE_LOOP = 10_000
+
+
+@pytest.fixture(scope="module")
+def workload(request):
+    def build():
+        db, _truth = replace_like(n_transactions=2000, seed=5)
+        return db
+
+    return run_once(request, "obs-workload", build)
+
+
+@pytest.fixture(autouse=True)
+def tracing_off():
+    """Every benchmark starts from the default state: tracing disabled."""
+    previous = (TRACER.enabled, list(TRACER.sinks))
+    TRACER.configure(enabled=False, sinks=[])
+    yield
+    TRACER.configure(enabled=previous[0], sinks=previous[1])
+
+
+def _span_count(db) -> int:
+    """How many spans one traced run of the workload emits."""
+    sink = RingBufferSink(capacity=100_000)
+    TRACER.configure(enabled=True, sinks=[sink])
+    try:
+        pattern_fusion(db, MINSUP, CONFIG)
+    finally:
+        TRACER.configure(enabled=False, sinks=[])
+    return len(sink)
+
+
+def test_bench_disabled_span(benchmark):
+    def loop():
+        for _ in range(PRIMITIVE_LOOP):
+            with trace.span("noop", size=3):
+                pass
+
+    benchmark.pedantic(loop, rounds=5, iterations=1, warmup_rounds=1)
+    assert not TRACER.enabled
+
+
+def test_bench_enabled_span_ring_buffer(benchmark):
+    TRACER.configure(enabled=True, sinks=[RingBufferSink()])
+
+    def loop():
+        for _ in range(PRIMITIVE_LOOP):
+            with trace.span("probe", size=3):
+                pass
+
+    benchmark.pedantic(loop, rounds=5, iterations=1, warmup_rounds=1)
+
+
+def test_bench_counter_inc(benchmark):
+    counter = metrics.REGISTRY.counter(
+        "bench_obs_ticks_total", "bench probe", ("kind",)
+    )
+
+    def loop():
+        for _ in range(PRIMITIVE_LOOP):
+            counter.inc(kind="probe")
+
+    benchmark.pedantic(loop, rounds=5, iterations=1, warmup_rounds=1)
+
+
+def test_bench_histogram_observe(benchmark):
+    histogram = metrics.REGISTRY.histogram(
+        "bench_obs_probe_seconds", "bench probe"
+    )
+
+    def loop():
+        for _ in range(PRIMITIVE_LOOP):
+            histogram.observe(0.003)
+
+    benchmark.pedantic(loop, rounds=5, iterations=1, warmup_rounds=1)
+
+
+def test_bench_fusion_traced_off(benchmark, workload):
+    """End-to-end run with tracing disabled + the <5% overhead assertion."""
+    result = benchmark.pedantic(
+        lambda: pattern_fusion(workload, MINSUP, CONFIG),
+        rounds=3, iterations=1, warmup_rounds=1,
+    )
+    assert len(result.patterns) == 10
+
+    # There is no uninstrumented build to diff against, so bound the
+    # disabled-tracing tax from first principles: (cost of one disabled
+    # span) x (spans the run would open), over the measured run time.
+    start = clock.monotonic()
+    for _ in range(PRIMITIVE_LOOP):
+        with trace.span("noop", size=3):
+            pass
+    per_span = (clock.monotonic() - start) / PRIMITIVE_LOOP
+    spans_per_run = _span_count(workload)
+    run_seconds = benchmark.stats.stats.mean
+    overhead = per_span * spans_per_run / run_seconds
+    assert overhead < 0.05, (
+        f"disabled tracing tax {overhead:.2%} "
+        f"({spans_per_run} spans x {per_span * 1e9:.0f}ns / {run_seconds:.3f}s)"
+    )
+
+
+def test_bench_fusion_traced_on(benchmark, workload):
+    """The same run with spans flowing into a ring buffer, for the ratio."""
+    TRACER.configure(enabled=True, sinks=[RingBufferSink(capacity=100_000)])
+    result = benchmark.pedantic(
+        lambda: pattern_fusion(workload, MINSUP, CONFIG),
+        rounds=3, iterations=1, warmup_rounds=1,
+    )
+    # Tracing must never change the mined pool.
+    assert len(result.patterns) == 10

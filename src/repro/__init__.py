@@ -59,6 +59,13 @@ from repro.engine import (
 )
 from repro.evaluation import approximate, approximation_error, edit_distance
 from repro.kernels import TidsetMatrix, available_backends, use_backend
+from repro.obs import (
+    MetricsRegistry,
+    TRACER,
+    Tracer,
+    get_logger,
+    setup_logging,
+)
 from repro.mining import (
     MiningResult,
     Pattern,
@@ -171,6 +178,12 @@ __all__ = [
     "LRUCache",
     "dataset_fingerprint",
     "PatternServer",
+    # observability
+    "MetricsRegistry",
+    "TRACER",
+    "Tracer",
+    "get_logger",
+    "setup_logging",
     # sequences
     "SequenceDatabase",
     "SequencePattern",

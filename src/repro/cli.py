@@ -90,6 +90,22 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Pattern-Fusion (ICDE 2007) reproduction toolkit",
     )
+    telemetry = parser.add_argument_group(
+        "telemetry", "observability (give these before the subcommand; "
+                     "results never depend on them)"
+    )
+    telemetry.add_argument("--log-level", default="info",
+                           choices=["debug", "info", "warning", "error"],
+                           help="threshold for the repro logger tree "
+                                "(default: info)")
+    telemetry.add_argument("--log-json", action="store_true",
+                           help="emit log records as JSON lines instead of text")
+    telemetry.add_argument("--trace", action="store_true",
+                           help="enable span tracing to stderr "
+                                "(also via env REPRO_TRACE)")
+    telemetry.add_argument("--trace-file", type=Path, default=None,
+                           metavar="FILE",
+                           help="enable span tracing to a JSON-lines file")
     sub = parser.add_subparsers(dest="command", required=True)
 
     mine = sub.add_parser("mine", help="run a registered miner on a dataset")
@@ -832,7 +848,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     )
     print(
         f"serving {len(store)} runs from {args.store} on {server.url} "
-        "(GET /health /miners /runs /runs/<id>, POST /mine /query; "
+        "(GET /health /metrics /miners /runs /runs/<id>, POST /mine /query; "
         "Ctrl-C stops)",
         flush=True,
     )
@@ -858,10 +874,25 @@ _COMMANDS = {
 }
 
 
+def _setup_telemetry(args: argparse.Namespace) -> None:
+    """Wire the obs layer from the global flags (execution-only concerns)."""
+    from repro.obs import logs, trace
+
+    logs.setup_logging(args.log_level, json_mode=args.log_json)
+    sinks = []
+    if args.trace:
+        sinks.append(trace.StderrSink())
+    if args.trace_file is not None:
+        sinks.append(trace.JsonlSink(args.trace_file))
+    if sinks:
+        trace.configure(enabled=True, sinks=trace.TRACER.sinks + sinks)
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    _setup_telemetry(args)
     backend = getattr(args, "backend", "auto")
     if backend != "auto":
         from repro import kernels

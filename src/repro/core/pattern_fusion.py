@@ -18,7 +18,6 @@ with more than K still in the pool.
 from __future__ import annotations
 
 import random
-import time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
@@ -35,6 +34,7 @@ from repro.db.transaction_db import TransactionDatabase
 from repro.kernels import use_backend
 from repro.mining.levelwise import mine_up_to_size
 from repro.mining.results import MiningResult, Pattern, largest_patterns
+from repro.obs import clock, metrics, trace
 
 __all__ = [
     "IterationStats",
@@ -44,6 +44,35 @@ __all__ = [
     "PatternFusionMinerConfig",
     "FusionMiner",
 ]
+
+
+# Phase counters/histograms for the core loop.  Telemetry is execution-only:
+# nothing here feeds run identity or touches the algorithm's RNG stream.
+_ROUNDS = metrics.counter(
+    "repro_fusion_rounds_total", "Fusion rounds executed (Algorithm 2 calls)"
+)
+_SEEDS = metrics.counter(
+    "repro_fusion_seeds_total", "Seeds drawn across all fusion rounds"
+)
+_BALL_QUERIES = metrics.counter(
+    "repro_fusion_ball_queries_total",
+    "Ball queries answered, split by index use",
+    ("indexed",),
+)
+_FUSED = metrics.counter(
+    "repro_fusion_fused_patterns_total",
+    "Super-patterns produced by fuse_ball before dedup",
+)
+_DEDUP_DROPPED = metrics.counter(
+    "repro_fusion_dedup_dropped_total",
+    "Fused patterns dropped as duplicates within a round",
+)
+_INITIAL_POOL_SECONDS = metrics.histogram(
+    "repro_fusion_initial_pool_seconds", "Phase-1 initial-pool mining latency"
+)
+_ROUND_SECONDS = metrics.histogram(
+    "repro_fusion_round_seconds", "Per-round latency of Algorithm 2"
+)
 
 
 @dataclass(frozen=True, slots=True)
@@ -151,9 +180,13 @@ class PatternFusion:
 
     def mine_initial_pool(self) -> list[Pattern]:
         """Phase 1: the complete set of patterns up to the configured size."""
-        result = mine_up_to_size(
-            self.db, self.minsup, self.config.initial_pool_max_size
-        )
+        with trace.span(
+            "initial_pool", max_size=self.config.initial_pool_max_size
+        ) as span, _INITIAL_POOL_SECONDS.time():
+            result = mine_up_to_size(
+                self.db, self.minsup, self.config.initial_pool_max_size
+            )
+            span.set(pool_size=len(result.patterns))
         return result.patterns
 
     def run(self, initial_pool: list[Pattern] | None = None) -> PatternFusionResult:
@@ -169,45 +202,58 @@ class PatternFusion:
     def _run(self, initial_pool: list[Pattern] | None) -> PatternFusionResult:
         config = self.config
         rng = random.Random(config.seed)
-        start = time.perf_counter()
-        pool = list(initial_pool) if initial_pool is not None else self.mine_initial_pool()
-        initial_size = len(pool)
-        radius = ball_radius(config.tau)
-        history: list[IterationStats] = []
-        iteration = 0
-        stagnant = 0
-        signature = _size_signature(pool)
-        while len(pool) > config.k and iteration < config.max_iterations:
-            iteration += 1
-            before = len(pool)
-            new_pool = self._fusion_round(pool, radius, rng)
-            if not new_pool:
-                break
-            if config.elitism:
-                new_pool = _with_elite(new_pool, pool, config.k)
-            fixpoint = {p.items for p in new_pool} == {p.items for p in pool}
-            pool = new_pool
-            history.append(_stats(iteration, before, pool, config.k))
-            if fixpoint:
-                break  # iterating further cannot change anything
-            new_signature = _size_signature(pool)
-            if new_signature == signature:
-                stagnant += 1
-                if stagnant >= config.stagnation_rounds:
-                    break  # saturated: sizes stopped evolving
-            else:
-                stagnant = 0
-                signature = new_signature
-        if len(pool) > config.k:
-            # Guard fired with an oversized pool: keep the K most colossal.
-            pool = largest_patterns(pool, config.k)
+        start = clock.monotonic()
+        with trace.span(
+            "pattern_fusion", minsup=self.minsup, k=config.k, tau=config.tau
+        ) as root:
+            pool = (
+                list(initial_pool)
+                if initial_pool is not None
+                else self.mine_initial_pool()
+            )
+            initial_size = len(pool)
+            radius = ball_radius(config.tau)
+            history: list[IterationStats] = []
+            iteration = 0
+            stagnant = 0
+            signature = _size_signature(pool)
+            while len(pool) > config.k and iteration < config.max_iterations:
+                iteration += 1
+                before = len(pool)
+                with trace.span(
+                    "fusion_round", iteration=iteration, pool_size=before
+                ) as round_span, _ROUND_SECONDS.time():
+                    new_pool = self._fusion_round(pool, radius, rng)
+                    round_span.set(pool_size_after=len(new_pool))
+                _ROUNDS.inc()
+                if not new_pool:
+                    break
+                if config.elitism:
+                    new_pool = _with_elite(new_pool, pool, config.k)
+                fixpoint = {p.items for p in new_pool} == {p.items for p in pool}
+                pool = new_pool
+                history.append(_stats(iteration, before, pool, config.k))
+                if fixpoint:
+                    break  # iterating further cannot change anything
+                new_signature = _size_signature(pool)
+                if new_signature == signature:
+                    stagnant += 1
+                    if stagnant >= config.stagnation_rounds:
+                        break  # saturated: sizes stopped evolving
+                else:
+                    stagnant = 0
+                    signature = new_signature
+            if len(pool) > config.k:
+                # Guard fired with an oversized pool: keep the K most colossal.
+                pool = largest_patterns(pool, config.k)
+            root.set(iterations=iteration, final_pool=len(pool))
         return PatternFusionResult(
             patterns=pool,
             config=config,
             minsup=self.minsup,
             initial_pool_size=initial_size,
             iterations=iteration,
-            elapsed_seconds=time.perf_counter() - start,
+            elapsed_seconds=clock.monotonic() - start,
             history=history,
         )
 
@@ -234,25 +280,36 @@ class PatternFusion:
                 pool, n_pivots=config.ball_index_pivots,
                 rng=random.Random(0 if config.seed is None else config.seed),
             )
-        if index is not None:
-            core_lists = index.balls(seeds, radius)
-        else:
-            core_lists = balls(seeds, pool, radius)
+        _SEEDS.inc(n_seeds)
+        with trace.span("ball_queries", seeds=n_seeds, indexed=index is not None):
+            if index is not None:
+                core_lists = index.balls(seeds, radius)
+            else:
+                core_lists = balls(seeds, pool, radius)
+        _BALL_QUERIES.inc(n_seeds, indexed=str(index is not None).lower())
         fused_by_items: dict[frozenset[int], Pattern] = {}
+        produced = 0
         for seed, core_list in zip(seeds, core_lists):
-            fused = fuse_ball(
-                self.db,
-                seed,
-                core_list,
-                tau=config.tau,
-                minsup=self.minsup,
-                rng=rng,
-                trials=config.fusion_trials,
-                max_candidates=config.max_candidates_per_seed,
-                close_fused=config.close_fused,
-            )
+            with trace.span(
+                "fuse_ball", pattern_size=seed.size, ball=len(core_list)
+            ) as span:
+                fused = fuse_ball(
+                    self.db,
+                    seed,
+                    core_list,
+                    tau=config.tau,
+                    minsup=self.minsup,
+                    rng=rng,
+                    trials=config.fusion_trials,
+                    max_candidates=config.max_candidates_per_seed,
+                    close_fused=config.close_fused,
+                )
+                span.set(fused=len(fused))
+            produced += len(fused)
             for pattern in fused:
                 fused_by_items.setdefault(pattern.items, pattern)
+        _FUSED.inc(produced)
+        _DEDUP_DROPPED.inc(produced - len(fused_by_items))
         return list(fused_by_items.values())
 
 

@@ -34,6 +34,8 @@ from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from typing import Any, TypeVar
 
+from repro.obs import metrics, trace
+
 __all__ = [
     "Executor",
     "SerialExecutor",
@@ -45,6 +47,28 @@ __all__ = [
 ]
 
 _T = TypeVar("_T")
+
+# Scheduling telemetry.  The ``executor`` label separates the in-process
+# reference path from real pool dispatch; a parallel run that degraded (or
+# short-circuited on tiny inputs) shows up as ``serial`` samples.
+_MAP_REDUCE_SECONDS = metrics.histogram(
+    "repro_executor_map_reduce_seconds",
+    "End-to-end map_reduce latency per executor kind",
+    ("executor",),
+)
+_CHUNKS = metrics.counter(
+    "repro_executor_chunks_total",
+    "Chunks scheduled through map_reduce",
+    ("executor",),
+)
+_POOL_WARMUPS = metrics.counter(
+    "repro_executor_pool_warmups_total",
+    "Worker-pool creations (payload warm-ups shipped)",
+)
+_DEGRADED = metrics.counter(
+    "repro_executor_degraded_total",
+    "Pool-infrastructure failures that forced the serial fallback",
+)
 
 # The one module global of the protocol: the payload of the current
 # map_reduce call.  In a worker process the pool initializer sets it; under
@@ -106,8 +130,12 @@ class SerialExecutor(Executor):
         global _WORKER_PAYLOAD
         previous = _WORKER_PAYLOAD
         _WORKER_PAYLOAD = payload
+        _CHUNKS.inc(len(chunks), executor="serial")
         try:
-            return merge([fn(chunk) for chunk in chunks])
+            with trace.span(
+                "map_reduce", executor="serial", chunks=len(chunks)
+            ), _MAP_REDUCE_SECONDS.time(executor="serial"):
+                return merge([fn(chunk) for chunk in chunks])
         finally:
             _WORKER_PAYLOAD = previous
 
@@ -157,6 +185,7 @@ class ParallelExecutor(Executor):
             initializer=_init_worker,
             initargs=(payload,),
         )
+        _POOL_WARMUPS.inc()
         self._pool = pool
         self._payload = payload
         return pool
@@ -177,18 +206,22 @@ class ParallelExecutor(Executor):
         chunks = list(chunks)
         if self.jobs == 1 or len(chunks) <= 1 or self._degraded:
             return self._serial.map_reduce(fn, chunks, merge, payload)
-        try:
-            pool = self._ensure_pool(payload)
-        except OSError as error:
-            return self._degrade(error, fn, chunks, merge, payload)
-        try:
-            results = list(pool.map(fn, chunks))
-        except BrokenProcessPool as error:
-            # Only infrastructure failure degrades: an exception raised by
-            # ``fn`` inside a worker (even an OSError subclass) is re-raised
-            # by pool.map as itself, propagates to the caller unchanged, and
-            # leaves the pool healthy.
-            return self._degrade(error, fn, chunks, merge, payload)
+        _CHUNKS.inc(len(chunks), executor="process")
+        with trace.span(
+            "map_reduce", executor="process", chunks=len(chunks), jobs=self.jobs
+        ), _MAP_REDUCE_SECONDS.time(executor="process"):
+            try:
+                pool = self._ensure_pool(payload)
+            except OSError as error:
+                return self._degrade(error, fn, chunks, merge, payload)
+            try:
+                results = list(pool.map(fn, chunks))
+            except BrokenProcessPool as error:
+                # Only infrastructure failure degrades: an exception raised by
+                # ``fn`` inside a worker (even an OSError subclass) is
+                # re-raised by pool.map as itself, propagates to the caller
+                # unchanged, and leaves the pool healthy.
+                return self._degrade(error, fn, chunks, merge, payload)
         return merge(results)
 
     def _degrade(self, error, fn, chunks, merge, payload):
@@ -198,6 +231,7 @@ class ParallelExecutor(Executor):
         contract is pool-equivalence, so falling back is always safe.
         """
         self._degraded = True
+        _DEGRADED.inc()
         self._shutdown_pool()
         warnings.warn(
             f"process pool unavailable ({error!r}); "

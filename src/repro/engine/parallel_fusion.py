@@ -45,6 +45,8 @@ from repro.engine.executor import Executor, make_executor, map_chunks, worker_pa
 from repro.kernels import use_backend
 from repro.kernels.backend import backend as kernels_backend
 from repro.mining.results import MiningResult, Pattern
+from repro.obs import metrics, trace
+from repro.obs.trace import TRACER
 
 __all__ = [
     "parallel_pattern_fusion",
@@ -57,6 +59,28 @@ __all__ = [
 # Child seeds are drawn from the driver RNG in this range; 63 bits keeps
 # them exact ints everywhere and disjoint from the "no seed" sentinel.
 _CHILD_SEED_BITS = 63
+
+# Same metric families the serial round increments (registration is
+# idempotent, so these resolve to the identical objects): the parallel
+# driver must populate the same series the serial loop does.  Fused-pattern
+# counts accumulate on the *driver* as results come back — worker-side
+# increments would be invisible to a scrape.
+_SEEDS = metrics.counter(
+    "repro_fusion_seeds_total", "Seeds drawn across all fusion rounds"
+)
+_BALL_QUERIES = metrics.counter(
+    "repro_fusion_ball_queries_total",
+    "Ball queries answered, split by index use",
+    ("indexed",),
+)
+_FUSED = metrics.counter(
+    "repro_fusion_fused_patterns_total",
+    "Super-patterns produced by fuse_ball before dedup",
+)
+_DEDUP_DROPPED = metrics.counter(
+    "repro_fusion_dedup_dropped_total",
+    "Fused patterns dropped as duplicates within a round",
+)
 
 
 @dataclass(frozen=True, slots=True)
@@ -84,28 +108,54 @@ class _RoundPayload:
     ``backend`` config knob (or CLI ``--backend``) governs the whole round
     even on spawn-start platforms where globals don't fork over."""
 
+    trace: bool = False
+    """Whether the driver had tracing enabled when the round started.
+    Workers cannot see the driver's tracer (separate processes), so this
+    flag tells them to capture spans locally and return them alongside each
+    task's result for driver-side :meth:`~repro.obs.trace.Tracer.ingest`."""
 
-def _fuse_task_chunk(chunk: list[FusionTask]) -> list[list[Pattern]]:
-    """Worker body: run the fusion passes for each task in the chunk."""
+
+def _fuse_one(payload: "_RoundPayload", task: FusionTask) -> list[Pattern]:
+    seed = payload.pool[task.seed_index]
+    members = [payload.pool[i] for i in task.member_indices]
+    with trace.span(
+        "fuse_ball", pattern_size=seed.size, ball=len(members),
+        seed_index=task.seed_index,
+    ) as span:
+        fused = fuse_ball(
+            payload.db,
+            seed,
+            members,
+            tau=payload.tau,
+            minsup=payload.minsup,
+            rng=random.Random(task.child_seed),
+            trials=payload.trials,
+            max_candidates=payload.max_candidates,
+            close_fused=payload.close_fused,
+        )
+        span.set(fused=len(fused))
+    return fused
+
+
+def _fuse_task_chunk(chunk: list[FusionTask]) -> list:
+    """Worker body: run the fusion passes for each task in the chunk.
+
+    Returns one entry per task: the fused patterns, or — when the driver
+    asked for tracing — a ``(patterns, span_records)`` pair so the driver
+    can stitch each task's spans into its own trace.  The per-task envelope
+    (rather than per-chunk) is what lets :func:`map_chunks` flatten results
+    without a separate side channel.
+    """
     payload: _RoundPayload = worker_payload()
-    results: list[list[Pattern]] = []
+    results: list = []
     with use_backend(payload.backend):
         for task in chunk:
-            seed = payload.pool[task.seed_index]
-            members = [payload.pool[i] for i in task.member_indices]
-            results.append(
-                fuse_ball(
-                    payload.db,
-                    seed,
-                    members,
-                    tau=payload.tau,
-                    minsup=payload.minsup,
-                    rng=random.Random(task.child_seed),
-                    trials=payload.trials,
-                    max_candidates=payload.max_candidates,
-                    close_fused=payload.close_fused,
-                )
-            )
+            if payload.trace:
+                with trace.capture() as sink:
+                    fused = _fuse_one(payload, task)
+                results.append((fused, sink.drain()))
+            else:
+                results.append(_fuse_one(payload, task))
     return results
 
 
@@ -128,17 +178,21 @@ def parallel_fusion_round(
     seed_indices = rng.sample(range(len(pool)), k=n_seeds)
     child_seeds = [rng.randrange(1 << _CHILD_SEED_BITS) for _ in seed_indices]
     centers = [pool[i] for i in seed_indices]
-    if config.use_ball_index and len(pool) >= config.ball_index_min_pool:
-        # Same pivot seeding rule as the serial driver: index construction
-        # must never touch the algorithm's rng stream.
-        index = PatternBallIndex(
-            pool,
-            n_pivots=config.ball_index_pivots,
-            rng=random.Random(0 if config.seed is None else config.seed),
-        )
-        member_lists = index.balls(centers, radius)
-    else:
-        member_lists = balls(centers, pool, radius)
+    use_index = config.use_ball_index and len(pool) >= config.ball_index_min_pool
+    with trace.span("ball_queries", seeds=n_seeds, indexed=use_index):
+        if use_index:
+            # Same pivot seeding rule as the serial driver: index construction
+            # must never touch the algorithm's rng stream.
+            index = PatternBallIndex(
+                pool,
+                n_pivots=config.ball_index_pivots,
+                rng=random.Random(0 if config.seed is None else config.seed),
+            )
+            member_lists = index.balls(centers, radius)
+        else:
+            member_lists = balls(centers, pool, radius)
+    _SEEDS.inc(n_seeds)
+    _BALL_QUERIES.inc(n_seeds, indexed=str(use_index).lower())
     position = {pattern.items: i for i, pattern in enumerate(pool)}
     tasks = [
         FusionTask(
@@ -159,12 +213,22 @@ def parallel_fusion_round(
         max_candidates=config.max_candidates_per_seed,
         close_fused=config.close_fused,
         backend=kernels_backend(),
+        trace=TRACER.enabled,
     )
     fused_lists = map_chunks(executor, _fuse_task_chunk, tasks, payload)
     fused_by_items: dict[frozenset[int], Pattern] = {}
-    for fused in fused_lists:
+    produced = 0
+    for entry in fused_lists:
+        if payload.trace:
+            fused, spans = entry
+            TRACER.ingest(spans)
+        else:
+            fused = entry
+        produced += len(fused)
         for pattern in fused:
             fused_by_items.setdefault(pattern.items, pattern)
+    _FUSED.inc(produced)
+    _DEDUP_DROPPED.inc(produced - len(fused_by_items))
     return list(fused_by_items.values())
 
 

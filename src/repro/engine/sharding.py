@@ -31,6 +31,7 @@ from collections.abc import Iterable, Sequence
 from repro.db import bitset
 from repro.db.transaction_db import TransactionDatabase
 from repro.engine.executor import Executor, split_chunks, worker_payload
+from repro.obs import clock, metrics, trace
 
 __all__ = [
     "PARTITIONERS",
@@ -76,6 +77,22 @@ def size_balanced_partition(
 
 
 PARTITIONERS = ("round-robin", "size-balanced")
+
+# Bulk-query telemetry.  Per-shard scan timings are observable only on the
+# serial path; under an executor the scans run inside worker processes,
+# whose registries never leave them (the driver still times the whole call).
+_SUPPORTS_SECONDS = metrics.histogram(
+    "repro_shard_supports_seconds",
+    "Bulk supports() latency over a sharded database",
+    ("mode",),
+)
+_SHARD_SCAN_SECONDS = metrics.histogram(
+    "repro_shard_scan_seconds",
+    "Per-shard batch scan latency (serial path only)",
+)
+_SHARD_SCANS = metrics.counter(
+    "repro_shard_scans_total", "Shard batch scans performed on the driver"
+)
 
 
 def _partition(db: TransactionDatabase, n_shards: int, partitioner: str):
@@ -243,16 +260,27 @@ class ShardedDatabase:
         if not batch:
             return []
         if executor is None or executor.jobs == 1 or self.n_shards == 1:
-            totals = [0] * len(batch)
-            for shard in self._shards:
-                for position, count in enumerate(shard.supports(batch)):
-                    totals[position] += count
+            with trace.span(
+                "sharded_supports", mode="serial", itemsets=len(batch),
+                shards=self.n_shards,
+            ), _SUPPORTS_SECONDS.time(mode="serial"):
+                totals = [0] * len(batch)
+                for shard in self._shards:
+                    scan_start = clock.monotonic()
+                    for position, count in enumerate(shard.supports(batch)):
+                        totals[position] += count
+                    _SHARD_SCAN_SECONDS.observe(clock.monotonic() - scan_start)
+                _SHARD_SCANS.inc(self.n_shards)
             return totals
         shard_chunks = split_chunks(range(self.n_shards), executor.jobs)
         chunks = [(tuple(indices), batch) for indices in shard_chunks]
-        return executor.map_reduce(
-            _shard_supports, chunks, _sum_columns, payload=self._shards
-        )
+        with trace.span(
+            "sharded_supports", mode="executor", itemsets=len(batch),
+            shards=self.n_shards, jobs=executor.jobs,
+        ), _SUPPORTS_SECONDS.time(mode="executor"):
+            return executor.map_reduce(
+                _shard_supports, chunks, _sum_columns, payload=self._shards
+            )
 
     def verify_patterns(
         self,

@@ -23,11 +23,21 @@ from collections.abc import Iterable, Sequence
 from typing import TYPE_CHECKING, ClassVar
 
 from repro.db.bitset import bitset_to_ids
+from repro.obs import metrics
 
 if TYPE_CHECKING:  # avoid an import cycle at runtime
     from repro.mining.results import Pattern
 
 __all__ = ["TidsetMatrix", "StdlibTidsetMatrix"]
+
+# Per-backend build counter: the stdlib-vs-numpy mix of a run at a glance.
+# Builds inside engine worker processes land in *their* registries and stay
+# there; this series reflects driver/serial construction only.
+_MATRIX_BUILDS = metrics.counter(
+    "repro_kernel_matrix_builds_total",
+    "TidsetMatrix constructions by backend",
+    ("backend",),
+)
 
 
 class TidsetMatrix(ABC):
@@ -75,9 +85,11 @@ class TidsetMatrix(ABC):
         if name == "numpy":
             from repro.kernels.numpy_backend import NumpyTidsetMatrix
 
+            _MATRIX_BUILDS.inc(backend="numpy")
             return NumpyTidsetMatrix(rows, n_bits)
         if name != "stdlib":
             raise ValueError(f"unknown kernels backend {name!r}")
+        _MATRIX_BUILDS.inc(backend="stdlib")
         return StdlibTidsetMatrix(rows, n_bits)
 
     @staticmethod

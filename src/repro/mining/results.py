@@ -9,11 +9,11 @@ operations instead of repeated database scans.
 
 from __future__ import annotations
 
-import time
 from collections.abc import Iterable, Iterator
 from dataclasses import dataclass, field
 
 from repro.db.transaction_db import TransactionDatabase
+from repro.obs import clock, trace
 
 __all__ = [
     "Pattern",
@@ -146,15 +146,28 @@ def patterns_equal_as_sets(a: Iterable[Pattern], b: Iterable[Pattern]) -> bool:
 
 
 class Stopwatch:
-    """Tiny context manager used by miners to fill ``elapsed_seconds``."""
+    """Tiny context manager used by miners to fill ``elapsed_seconds``.
 
-    def __init__(self) -> None:
+    Delegates to :mod:`repro.obs`: durations come from the package's one
+    monotonic clock, and each timed region doubles as a tracing span (named
+    ``stopwatch``, or ``name`` when given) so miner timings appear in traces
+    whenever tracing is on.  ``elapsed`` and ``_start`` keep their historic
+    meaning for callers that poke at them.
+    """
+
+    def __init__(self, name: str = "stopwatch") -> None:
+        self.name = name
         self.elapsed = 0.0
         self._start = 0.0
+        self._span: object | None = None
 
     def __enter__(self) -> "Stopwatch":
-        self._start = time.perf_counter()
+        self._span = trace.span(self.name).__enter__()
+        self._start = clock.monotonic()
         return self
 
     def __exit__(self, *exc_info: object) -> None:
-        self.elapsed = time.perf_counter() - self._start
+        self.elapsed = clock.monotonic() - self._start
+        span, self._span = self._span, None
+        if span is not None:
+            span.__exit__(*exc_info)  # type: ignore[attr-defined]

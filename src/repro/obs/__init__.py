@@ -1,0 +1,61 @@
+"""Telemetry for the repro package: metrics, tracing spans, structured logs.
+
+Three independent, dependency-free surfaces:
+
+- :mod:`repro.obs.metrics` — a thread-safe :class:`MetricsRegistry` of
+  counters, gauges, and fixed-bucket histograms, rendered in Prometheus
+  text format (the pattern server's ``GET /metrics``).  Always on.
+- :mod:`repro.obs.trace` — span-based tracing with contextvar parenting
+  and pluggable sinks (ring buffer, JSONL file, stderr).  Off by default;
+  near-zero cost while off.
+- :mod:`repro.obs.logs` — structured logging setup (text or JSON lines)
+  for the ``repro`` logger hierarchy.
+
+Telemetry is an *execution* concern: nothing here ever feeds run identity,
+consumes algorithm randomness, or changes a mining result — the bit-identity
+property tests run with tracing enabled to hold that line.  This package
+imports nothing from the rest of ``repro`` so every layer can instrument
+itself without creating import cycles.
+"""
+
+from repro.obs import clock, logs, metrics, trace
+from repro.obs.logs import get_logger, setup_logging
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    REGISTRY,
+)
+from repro.obs.trace import (
+    JsonlSink,
+    RingBufferSink,
+    StderrSink,
+    TRACER,
+    Tracer,
+    capture,
+    span,
+)
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "JsonlSink",
+    "MetricsRegistry",
+    "REGISTRY",
+    "RingBufferSink",
+    "StderrSink",
+    "TRACER",
+    "Tracer",
+    "capture",
+    "clock",
+    "get_logger",
+    "logs",
+    "metrics",
+    "setup_logging",
+    "span",
+    "trace",
+]

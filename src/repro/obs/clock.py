@@ -1,0 +1,23 @@
+"""The one monotonic clock behind every timing surface in the package.
+
+All wall-clock provenance — miner ``elapsed_seconds``, span durations,
+latency histograms, slide timings — flows through this module so there is a
+single place to reason about (and, in tests, to stub) how the package
+measures time.  ``monotonic()`` is the duration clock (never jumps
+backwards); ``wall()`` is the epoch clock used only for timestamps on
+records that leave the process (span start times, store metadata).
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["monotonic", "wall"]
+
+#: Duration clock: monotonic, high resolution.  Every elapsed-seconds
+#: computation in the package subtracts two values of this function.
+monotonic = time.perf_counter
+
+#: Epoch clock: for human-meaningful timestamps on exported records only.
+#: Never use it to compute durations.
+wall = time.time

@@ -1,0 +1,109 @@
+"""Structured logging setup for the ``repro`` namespace.
+
+Every module logs through ``get_logger(__name__)`` — a stdlib logger under
+the ``repro`` hierarchy — and :func:`setup_logging` decides once, at process
+entry (the CLI's ``--log-level`` / ``--log-json`` flags), how those records
+render: human-readable text or one JSON object per line.  Extra fields
+passed via ``logger.info("...", extra={...})`` survive into the JSON output,
+which is what makes the server's access log machine-parseable.
+
+Libraries must not configure logging on import, so nothing here runs at
+module load; until :func:`setup_logging` is called the ``repro`` logger
+inherits whatever the embedding application configured (or stays silent
+under stdlib's default last-resort handler).
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+from typing import Any, TextIO
+
+__all__ = ["JsonFormatter", "TextFormatter", "get_logger", "setup_logging"]
+
+ROOT_NAME = "repro"
+
+#: LogRecord attributes that are plumbing, not user data — everything else
+#: found on a record is treated as a structured extra field.
+_RESERVED = frozenset(
+    logging.LogRecord("", 0, "", 0, "", (), None).__dict__
+) | {"message", "asctime", "taskName"}
+
+
+def _extras(record: logging.LogRecord) -> dict[str, Any]:
+    return {
+        key: value
+        for key, value in record.__dict__.items()
+        if key not in _RESERVED
+    }
+
+
+class JsonFormatter(logging.Formatter):
+    """One JSON object per line: ts, level, logger, msg, then extras."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        doc: dict[str, Any] = {
+            "ts": record.created,
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "msg": record.getMessage(),
+        }
+        doc.update(_extras(record))
+        if record.exc_info and record.exc_info[0] is not None:
+            doc["exc"] = self.formatException(record.exc_info)
+        return json.dumps(doc, sort_keys=True, default=str)
+
+
+class TextFormatter(logging.Formatter):
+    """Readable text with extras appended as ``key=value`` pairs."""
+
+    def __init__(self) -> None:
+        super().__init__("%(asctime)s %(levelname)s %(name)s: %(message)s")
+
+    def format(self, record: logging.LogRecord) -> str:
+        line = super().format(record)
+        extras = _extras(record)
+        if extras:
+            pairs = " ".join(
+                f"{key}={value}" for key, value in sorted(extras.items())
+            )
+            line = f"{line} [{pairs}]"
+        return line
+
+
+def setup_logging(
+    level: int | str = logging.INFO,
+    json_mode: bool = False,
+    stream: TextIO | None = None,
+) -> logging.Logger:
+    """Configure the ``repro`` logger tree; safe to call repeatedly.
+
+    Replaces any handlers a previous call installed (so tests and REPL
+    sessions can reconfigure freely) and stops propagation to the root
+    logger to avoid double-printing under applications that configured
+    their own handlers.
+    """
+    logger = logging.getLogger(ROOT_NAME)
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler.setFormatter(JsonFormatter() if json_mode else TextFormatter())
+    for old in list(logger.handlers):
+        logger.removeHandler(old)
+    logger.addHandler(handler)
+    logger.setLevel(level.upper() if isinstance(level, str) else level)
+    logger.propagate = False
+    return logger
+
+
+def get_logger(name: str | None = None) -> logging.Logger:
+    """A logger under the ``repro`` hierarchy.
+
+    Pass ``__name__`` from inside the package (already rooted at ``repro``),
+    any other name to nest it (``get_logger("serve.access")`` →
+    ``repro.serve.access``), or nothing for the root ``repro`` logger.
+    """
+    if not name or name == ROOT_NAME:
+        return logging.getLogger(ROOT_NAME)
+    if name.startswith(ROOT_NAME + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{ROOT_NAME}.{name}")

@@ -1,0 +1,395 @@
+"""Thread-safe metrics: counters, gauges, and fixed-bucket histograms.
+
+A :class:`MetricsRegistry` holds named metrics, each optionally split by a
+fixed tuple of label names, and renders the whole collection in the
+Prometheus text exposition format (version 0.0.4) — which is what the
+pattern server's ``GET /metrics`` endpoint returns.  Zero dependencies: the
+registry is a dict of metrics, each metric a dict of label-value tuples to
+numbers, all behind one lock per metric.
+
+Metrics are *always on*: incrementing a counter is a dict lookup plus an
+add under a lock, cheap enough to leave in every hot path (the
+instrumentation-overhead benchmark in ``benchmarks/test_obs_bench.py``
+tracks the cost).  Span *tracing*, the expensive part of observability,
+lives in :mod:`repro.obs.trace` and is off by default.
+
+Registration is idempotent: calling :meth:`MetricsRegistry.counter` twice
+with the same name returns the same object, so instrumentation sites in
+different modules can declare the metric they need without coordinating.
+Re-registering a name with a different kind or label set is a bug and
+raises.
+
+The module-level :data:`REGISTRY` is the process default; the convenience
+functions (:func:`counter`, :func:`gauge`, :func:`histogram`,
+:func:`render`) operate on it.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+import threading
+from bisect import bisect_left
+from typing import Any
+
+from repro.obs import clock
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Metric",
+    "MetricsRegistry",
+    "REGISTRY",
+    "counter",
+    "gauge",
+    "histogram",
+    "render",
+]
+
+#: Default latency buckets (seconds): sub-millisecond serving requests up to
+#: multi-second mining phases.  ``+Inf`` is implicit.
+DEFAULT_BUCKETS = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
+    1.0, 2.5, 5.0, 10.0,
+)
+
+_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+
+def _format_value(value: float) -> str:
+    """A number in exposition format: integers bare, floats via repr."""
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if isinstance(value, float) and value != int(value):
+        return repr(value)
+    return str(int(value))
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+class Metric:
+    """Base class: a named metric family split by a fixed label tuple."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str = "", labelnames: tuple[str, ...] = ()) -> None:
+        if not _NAME.match(name):
+            raise ValueError(f"invalid metric name {name!r}")
+        for label in labelnames:
+            if not _LABEL.match(label):
+                raise ValueError(f"invalid label name {label!r} on metric {name!r}")
+        self.name = name
+        self.help = help
+        self.labelnames = tuple(labelnames)
+        self._lock = threading.Lock()
+        self._values: dict[tuple[str, ...], Any] = {}
+
+    # ------------------------------------------------------------------
+    # Label handling
+    # ------------------------------------------------------------------
+
+    def _key(self, labels: dict[str, Any]) -> tuple[str, ...]:
+        if set(labels) != set(self.labelnames):
+            raise ValueError(
+                f"metric {self.name!r} takes labels {self.labelnames}, "
+                f"got {tuple(sorted(labels))}"
+            )
+        return tuple(str(labels[name]) for name in self.labelnames)
+
+    def clear(self) -> None:
+        """Drop every recorded series (test hook)."""
+        with self._lock:
+            self._values.clear()
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+
+    def _series_name(self, key: tuple[str, ...], suffix: str = "",
+                     extra: tuple[tuple[str, str], ...] = ()) -> str:
+        pairs = [
+            f'{label}="{_escape_label(value)}"'
+            for label, value in zip(self.labelnames, key)
+        ]
+        pairs.extend(f'{label}="{_escape_label(value)}"' for label, value in extra)
+        labels = "{" + ",".join(pairs) + "}" if pairs else ""
+        return f"{self.name}{suffix}{labels}"
+
+    def render(self) -> list[str]:
+        """Exposition-format lines for this metric family (HELP/TYPE first)."""
+        lines = []
+        if self.help:
+            lines.append(f"# HELP {self.name} {_escape_help(self.help)}")
+        lines.append(f"# TYPE {self.name} {self.kind}")
+        with self._lock:
+            items = sorted(self._values.items())
+        for key, value in items:
+            lines.extend(self._render_series(key, value))
+        return lines
+
+    def _render_series(self, key: tuple[str, ...], value: Any) -> list[str]:
+        return [f"{self._series_name(key)} {_format_value(value)}"]
+
+    def collect(self) -> dict[tuple[str, ...], Any]:
+        """A plain snapshot of every series (programmatic access)."""
+        with self._lock:
+            return dict(self._values)
+
+    def value(self, **labels: Any) -> Any:
+        """One series' current value (0 when never touched)."""
+        key = self._key(labels)
+        with self._lock:
+            return self._values.get(key, 0)
+
+
+class Counter(Metric):
+    """A monotonically increasing count."""
+
+    kind = "counter"
+
+    def inc(self, amount: float = 1, **labels: Any) -> None:
+        if amount < 0:
+            raise ValueError(f"counters only go up; got {amount}")
+        key = self._key(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0) + amount
+
+
+class Gauge(Metric):
+    """A value that can go up and down (in-flight requests, pool sizes)."""
+
+    kind = "gauge"
+
+    def set(self, value: float, **labels: Any) -> None:
+        key = self._key(labels)
+        with self._lock:
+            self._values[key] = value
+
+    def inc(self, amount: float = 1, **labels: Any) -> None:
+        key = self._key(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0) + amount
+
+    def dec(self, amount: float = 1, **labels: Any) -> None:
+        self.inc(-amount, **labels)
+
+    def track(self, **labels: Any) -> "_GaugeTracker":
+        """Context manager: +1 on entry, -1 on exit (in-flight tracking)."""
+        return _GaugeTracker(self, labels)
+
+
+class _GaugeTracker:
+    __slots__ = ("_gauge", "_labels")
+
+    def __init__(self, gauge: Gauge, labels: dict[str, Any]) -> None:
+        self._gauge = gauge
+        self._labels = labels
+
+    def __enter__(self) -> "_GaugeTracker":
+        self._gauge.inc(**self._labels)
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self._gauge.dec(**self._labels)
+
+
+class Histogram(Metric):
+    """Fixed-bucket distribution of observed values (latencies, sizes).
+
+    Buckets are upper edges (``le`` semantics, inclusive); ``+Inf`` is
+    always appended.  Each series stores per-bucket counts plus sum and
+    count; rendering cumulates the buckets as the exposition format
+    requires.
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        labelnames: tuple[str, ...] = (),
+        buckets: tuple[float, ...] = DEFAULT_BUCKETS,
+    ) -> None:
+        super().__init__(name, help, labelnames)
+        edges = tuple(sorted(float(edge) for edge in buckets))
+        if not edges:
+            raise ValueError("histogram needs at least one bucket edge")
+        if len(set(edges)) != len(edges):
+            raise ValueError(f"duplicate bucket edges: {buckets}")
+        if edges and edges[-1] == math.inf:
+            edges = edges[:-1]
+        self.buckets = edges
+
+    def observe(self, value: float, **labels: Any) -> None:
+        key = self._key(labels)
+        index = bisect_left(self.buckets, value)  # first edge >= value (le)
+        with self._lock:
+            state = self._values.get(key)
+            if state is None:
+                state = [[0] * (len(self.buckets) + 1), 0.0, 0]
+                self._values[key] = state
+            state[0][index] += 1
+            state[1] += value
+            state[2] += 1
+
+    def time(self, **labels: Any) -> "_HistogramTimer":
+        """Context manager observing its own wall duration on exit."""
+        return _HistogramTimer(self, labels)
+
+    def _render_series(self, key: tuple[str, ...], value: Any) -> list[str]:
+        per_bucket, total, count = value
+        lines = []
+        cumulative = 0
+        for edge, bucket_count in zip(self.buckets, per_bucket):
+            cumulative += bucket_count
+            lines.append(
+                f"{self._series_name(key, '_bucket', (('le', _format_value(edge)),))}"
+                f" {cumulative}"
+            )
+        cumulative += per_bucket[-1]
+        lines.append(
+            f"{self._series_name(key, '_bucket', (('le', '+Inf'),))} {cumulative}"
+        )
+        lines.append(f"{self._series_name(key, '_sum')} {_format_value(total)}")
+        lines.append(f"{self._series_name(key, '_count')} {count}")
+        return lines
+
+    def count(self, **labels: Any) -> int:
+        """Number of observations in one series (0 when never touched)."""
+        key = self._key(labels)
+        with self._lock:
+            state = self._values.get(key)
+            return 0 if state is None else state[2]
+
+    def sum(self, **labels: Any) -> float:
+        """Sum of observations in one series (0.0 when never touched)."""
+        key = self._key(labels)
+        with self._lock:
+            state = self._values.get(key)
+            return 0.0 if state is None else state[1]
+
+
+class _HistogramTimer:
+    __slots__ = ("_histogram", "_labels", "_start")
+
+    def __init__(self, histogram: Histogram, labels: dict[str, Any]) -> None:
+        self._histogram = histogram
+        self._labels = labels
+        self._start = 0.0
+
+    def __enter__(self) -> "_HistogramTimer":
+        self._start = clock.monotonic()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self._histogram.observe(clock.monotonic() - self._start, **self._labels)
+
+
+class MetricsRegistry:
+    """A named collection of metrics, renderable as Prometheus text."""
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, Metric] = {}
+        self._lock = threading.Lock()
+
+    def _get_or_create(self, cls: type, name: str, help: str,
+                       labelnames: tuple[str, ...], **kwargs: Any) -> Any:
+        labelnames = tuple(labelnames)
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                if type(existing) is not cls or existing.labelnames != labelnames:
+                    raise ValueError(
+                        f"metric {name!r} already registered as "
+                        f"{existing.kind} with labels {existing.labelnames}"
+                    )
+                return existing
+            metric = cls(name, help, labelnames, **kwargs)
+            self._metrics[name] = metric
+            return metric
+
+    def counter(self, name: str, help: str = "",
+                labelnames: tuple[str, ...] = ()) -> Counter:
+        return self._get_or_create(Counter, name, help, labelnames)
+
+    def gauge(self, name: str, help: str = "",
+              labelnames: tuple[str, ...] = ()) -> Gauge:
+        return self._get_or_create(Gauge, name, help, labelnames)
+
+    def histogram(self, name: str, help: str = "",
+                  labelnames: tuple[str, ...] = (),
+                  buckets: tuple[float, ...] = DEFAULT_BUCKETS) -> Histogram:
+        return self._get_or_create(Histogram, name, help, labelnames,
+                                   buckets=buckets)
+
+    def get(self, name: str) -> Metric | None:
+        """The registered metric named ``name``, if any."""
+        with self._lock:
+            return self._metrics.get(name)
+
+    def names(self) -> list[str]:
+        with self._lock:
+            return sorted(self._metrics)
+
+    def render(self) -> str:
+        """The whole registry in Prometheus text exposition format."""
+        with self._lock:
+            metrics = [self._metrics[name] for name in sorted(self._metrics)]
+        lines: list[str] = []
+        for metric in metrics:
+            lines.extend(metric.render())
+        return "\n".join(lines) + "\n" if lines else ""
+
+    def collect(self) -> dict[str, dict[tuple[str, ...], Any]]:
+        """Snapshot of every metric's series (programmatic access)."""
+        with self._lock:
+            metrics = dict(self._metrics)
+        return {name: metric.collect() for name, metric in metrics.items()}
+
+    def reset(self) -> None:
+        """Zero every metric's series, keeping registrations (test hook)."""
+        with self._lock:
+            metrics = list(self._metrics.values())
+        for metric in metrics:
+            metric.clear()
+
+
+#: The process-default registry; the serving layer's ``GET /metrics``
+#: renders it, and every built-in instrumentation site registers here.
+REGISTRY = MetricsRegistry()
+
+
+def counter(name: str, help: str = "",
+            labelnames: tuple[str, ...] = ()) -> Counter:
+    """Get-or-create a counter on the default registry."""
+    return REGISTRY.counter(name, help, labelnames)
+
+
+def gauge(name: str, help: str = "",
+          labelnames: tuple[str, ...] = ()) -> Gauge:
+    """Get-or-create a gauge on the default registry."""
+    return REGISTRY.gauge(name, help, labelnames)
+
+
+def histogram(name: str, help: str = "",
+              labelnames: tuple[str, ...] = (),
+              buckets: tuple[float, ...] = DEFAULT_BUCKETS) -> Histogram:
+    """Get-or-create a histogram on the default registry."""
+    return REGISTRY.histogram(name, help, labelnames, buckets=buckets)
+
+
+def render() -> str:
+    """The default registry in Prometheus text format."""
+    return REGISTRY.render()

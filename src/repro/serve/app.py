@@ -1,9 +1,10 @@
 """The pattern server: a zero-dependency JSON API over a pattern store.
 
-Routes (all responses JSON):
+Routes (all responses JSON, except the Prometheus text of ``/metrics``):
 
 ======  =================  ====================================================
 GET     ``/health``        store size, format version, cache telemetry
+GET     ``/metrics``       the process metrics registry, Prometheus text format
 GET     ``/miners``        the registry listing (``repro miners --json``)
 GET     ``/runs``          metadata summary of every stored run
 GET     ``/runs/<id>``     one run's metadata + patterns (``?limit=N``)
@@ -12,6 +13,13 @@ POST    ``/mine``          mine through the store cache; body
 POST    ``/query``         evaluate a query; body
                            ``{"run": id, "query": {...}}``
 ======  =================  ====================================================
+
+Every request is measured: a ``repro_http_requests_total`` counter split by
+method/route/status, a per-route latency histogram, an in-flight gauge, one
+structured access-log line (logger ``repro.serve.access``), and an
+``X-Request-Id`` response header (the client's, when it sent one).  Route
+labels are normalised (``/runs/<id>`` → ``/runs/{id}``; unknown paths →
+``other``) so label cardinality stays bounded under hostile traffic.
 
 Built on the stdlib ``ThreadingHTTPServer`` — one thread per connection, no
 framework — with two in-process LRUs in front of the disk: loaded runs
@@ -27,7 +35,9 @@ local ones.
 
 from __future__ import annotations
 
+import itertools
 import json
+import os
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any
@@ -36,6 +46,9 @@ from urllib.parse import parse_qs, urlparse
 from repro.api.pipeline import load_dataset
 from repro.api.registry import get_miner_spec, miner_names
 from repro.mining.results import Pattern
+from repro.obs import clock, metrics, trace
+from repro.obs.logs import get_logger
+from repro.obs.metrics import REGISTRY
 from repro.store.cache import LRUCache, mine_cached
 from repro.store.format import FORMAT_VERSION
 from repro.store.index import InvertedItemIndex
@@ -46,6 +59,44 @@ __all__ = ["PatternServer", "pattern_record"]
 
 #: Default number of pattern records embedded in /mine and /runs/<id> bodies.
 DEFAULT_LIMIT = 50
+
+_REQUESTS = metrics.counter(
+    "repro_http_requests_total",
+    "HTTP requests served, by method, normalised route, and status",
+    ("method", "route", "status"),
+)
+_REQUEST_SECONDS = metrics.histogram(
+    "repro_http_request_seconds",
+    "HTTP request latency by normalised route",
+    ("route",),
+)
+_IN_FLIGHT = metrics.gauge(
+    "repro_http_in_flight_requests", "Requests currently being handled"
+)
+
+_ACCESS_LOG = get_logger("serve.access")
+
+_REQUEST_IDS = itertools.count(1)
+
+#: The fixed route vocabulary for metric labels (see module docstring).
+_ROUTES = frozenset(
+    {"/", "/health", "/metrics", "/miners", "/runs", "/mine", "/query"}
+)
+
+
+def _route_of(path: str) -> str:
+    """Normalise a request path to a bounded metric label."""
+    parts = [part for part in path.split("/") if part]
+    normalised = "/" + "/".join(parts)
+    if normalised in _ROUTES:
+        return normalised
+    if len(parts) == 2 and parts[0] == "runs":
+        return "/runs/{id}"
+    return "other"
+
+
+def _next_request_id() -> str:
+    return f"{os.getpid():x}-{next(_REQUEST_IDS):x}"
 
 
 def pattern_record(pattern: Pattern) -> dict[str, Any]:
@@ -309,18 +360,83 @@ class _Handler(BaseHTTPRequestHandler):
     protocol_version = "HTTP/1.1"
 
     def log_message(self, format: str, *args: object) -> None:
-        pass  # request logging is the deployment wrapper's business
+        pass  # structured access logging happens in _dispatch instead
 
-    def _respond(self, status: int, payload: dict[str, Any] | list[Any]) -> None:
+    def _respond(
+        self, status: int, payload: dict[str, Any] | list[Any],
+        request_id: str | None = None,
+    ) -> None:
         body = json.dumps(payload, indent=2).encode() + b"\n"
+        self._write(status, body, "application/json", request_id)
+
+    def _write(
+        self, status: int, body: bytes, content_type: str,
+        request_id: str | None,
+    ) -> None:
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
+        if request_id is not None:
+            self.send_header("X-Request-Id", request_id)
         self.end_headers()
         self.wfile.write(body)
 
     def _dispatch(self, method: str) -> None:
         parsed = urlparse(self.path)
+        route = _route_of(parsed.path)
+        request_id = self.headers.get("X-Request-Id") or _next_request_id()
+        started = clock.monotonic()
+        run_id: str | None = None
+        is_scrape = method == "GET" and route == "/metrics"
+        with _IN_FLIGHT.track(), trace.span(
+            "http_request", method=method, route=route, request_id=request_id
+        ) as span:
+            if is_scrape:
+                status, payload = 200, None
+            else:
+                status, payload = self._handle_json(method, parsed)
+                if isinstance(payload, dict):
+                    maybe_run = payload.get("run") or payload.get("run_id")
+                    if isinstance(maybe_run, str):
+                        run_id = maybe_run
+            span.set(status=status)
+            # Account the request *before* the response bytes go out: a
+            # client that has read its response is guaranteed to see the
+            # request in an immediately following scrape or access-log read
+            # (only the response write itself goes unmeasured).
+            elapsed = clock.monotonic() - started
+            _REQUESTS.inc(method=method, route=route, status=str(status))
+            _REQUEST_SECONDS.observe(elapsed, route=route)
+            extra = {
+                "method": method,
+                "route": route,
+                "path": parsed.path,
+                "status": status,
+                "duration_ms": round(elapsed * 1000, 3),
+                "request_id": request_id,
+            }
+            if run_id is not None:
+                extra["run_id"] = run_id
+            _ACCESS_LOG.info(
+                "%s %s -> %d", method, parsed.path, status, extra=extra
+            )
+            if is_scrape:
+                # The scrape endpoint renders text, not JSON, and bypasses
+                # the app dispatch (it must work even if the app is wedged).
+                # Rendering after self-accounting means a scrape sees itself.
+                self._write(
+                    status,
+                    REGISTRY.render().encode(),
+                    "text/plain; version=0.0.4; charset=utf-8",
+                    request_id,
+                )
+            else:
+                self._respond(status, payload, request_id)
+
+    def _handle_json(
+        self, method: str, parsed: Any
+    ) -> tuple[int, dict[str, Any] | list[Any]]:
+        """Parse the body, run the app dispatch, map errors to JSON."""
         body: dict[str, Any] | None = None
         if method == "POST":
             length = int(self.headers.get("Content-Length") or 0)
@@ -328,20 +444,17 @@ class _Handler(BaseHTTPRequestHandler):
             try:
                 body = json.loads(raw) if raw else {}
             except json.JSONDecodeError as exc:
-                self._respond(400, {"error": f"invalid JSON body: {exc}"})
-                return
+                return 400, {"error": f"invalid JSON body: {exc}"}
             if not isinstance(body, dict):
-                self._respond(400, {"error": "JSON body must be an object"})
-                return
+                return 400, {"error": "JSON body must be an object"}
         try:
-            status, payload = self.server.app.handle(
+            return self.server.app.handle(
                 method, parsed.path, parse_qs(parsed.query), body
             )
         except _ApiError as exc:
-            status, payload = exc.status, {"error": str(exc)}
+            return exc.status, {"error": str(exc)}
         except Exception as exc:  # pragma: no cover - defensive 500
-            status, payload = 500, {"error": f"{type(exc).__name__}: {exc}"}
-        self._respond(status, payload)
+            return 500, {"error": f"{type(exc).__name__}: {exc}"}
 
     def do_GET(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
         self._dispatch("GET")

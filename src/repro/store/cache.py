@@ -26,11 +26,18 @@ from repro.api.registry import create_miner
 from repro.db.stats import dataset_fingerprint
 from repro.db.transaction_db import TransactionDatabase
 from repro.mining.results import MiningResult
+from repro.obs import metrics, trace
 from repro.store.store import PatternStore
 
 __all__ = ["CachedMine", "mine_cached", "LRUCache"]
 
 _MISSING = object()
+
+_MINE_CACHED = metrics.counter(
+    "repro_mine_cached_total",
+    "mine_cached lookups by miner and outcome",
+    ("miner", "outcome"),
+)
 
 
 @dataclass(frozen=True, slots=True)
@@ -74,14 +81,21 @@ def mine_cached(
     # mined at any worker count hits the same cache entry (the engine
     # guarantees the pools are identical).
     config_dict = instance.config.identity_dict()
-    fingerprint = dataset_fingerprint(db)
-    found = store.find(fingerprint, name, config_dict)
-    if found is not None:
-        return CachedMine(result=store.load(found).result, run_id=found, hit=True)
-    result = instance.mine(db)
-    run_id = store.save(
-        result, db=db, miner=name, config=config_dict, fingerprint=fingerprint
-    )
+    with trace.span("mine_cached", miner=name) as span:
+        fingerprint = dataset_fingerprint(db)
+        found = store.find(fingerprint, name, config_dict)
+        if found is not None:
+            _MINE_CACHED.inc(miner=name, outcome="hit")
+            span.set(outcome="hit", run_id=found)
+            return CachedMine(
+                result=store.load(found).result, run_id=found, hit=True
+            )
+        _MINE_CACHED.inc(miner=name, outcome="miss")
+        result = instance.mine(db)
+        run_id = store.save(
+            result, db=db, miner=name, config=config_dict, fingerprint=fingerprint
+        )
+        span.set(outcome="miss", run_id=run_id)
     return CachedMine(result=result, run_id=run_id, hit=False)
 
 

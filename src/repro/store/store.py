@@ -27,6 +27,7 @@ from typing import Any, Iterator
 from repro.db.stats import dataset_fingerprint
 from repro.db.transaction_db import TransactionDatabase
 from repro.mining.results import MiningResult, Pattern
+from repro.obs import metrics, trace
 from repro.store.format import (
     FORMAT_VERSION,
     cache_key,
@@ -39,6 +40,19 @@ from repro.store.format import (
 __all__ = ["StoredRun", "PatternStore"]
 
 _STREAM_NAME = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]*$")
+
+_SAVES = metrics.counter(
+    "repro_store_saves_total",
+    "Run saves by outcome (written vs content-addressed dedup no-op)",
+    ("outcome",),
+)
+_LOADS = metrics.counter("repro_store_loads_total", "Complete run loads")
+_SAVE_SECONDS = metrics.histogram(
+    "repro_store_save_seconds", "PatternStore.save latency"
+)
+_LOAD_SECONDS = metrics.histogram(
+    "repro_store_load_seconds", "PatternStore.load latency"
+)
 
 
 @dataclass(frozen=True, slots=True)
@@ -129,31 +143,40 @@ class PatternStore:
             }
         elif fingerprint is not None:
             dataset = {"fingerprint": fingerprint}
-        payload = encode_patterns(result.patterns)
-        run_id = content_run_id(
-            payload, miner, result.algorithm, result.minsup, config, fingerprint
-        )
-        run_dir = self._runs_dir / run_id
-        if (run_dir / "meta.json").exists():
-            return run_id  # content-addressed: identical run already stored
-        meta = {
-            "format": FORMAT_VERSION,
-            "kind": "pattern-run",
-            "run_id": run_id,
-            "miner": miner,
-            "algorithm": result.algorithm,
-            "minsup": result.minsup,
-            "config": config,
-            "dataset": dataset,
-            "cache_key": cache_key(fingerprint, miner, config),
-            "elapsed_seconds": result.elapsed_seconds,
-            "n_patterns": len(result.patterns),
-            "created": time.time(),
-        }
-        run_dir.mkdir(parents=True, exist_ok=True)
-        _atomic_write_text(run_dir / "patterns.txt", payload)
-        # meta.json lands last: its presence is what marks the run complete.
-        _atomic_write_text(run_dir / "meta.json", json.dumps(meta, indent=2) + "\n")
+        with trace.span("store_save", patterns=len(result.patterns)) as span, \
+                _SAVE_SECONDS.time():
+            payload = encode_patterns(result.patterns)
+            run_id = content_run_id(
+                payload, miner, result.algorithm, result.minsup, config,
+                fingerprint,
+            )
+            span.set(run_id=run_id)
+            run_dir = self._runs_dir / run_id
+            if (run_dir / "meta.json").exists():
+                # Content-addressed: identical run already stored.
+                _SAVES.inc(outcome="dedup")
+                return run_id
+            meta = {
+                "format": FORMAT_VERSION,
+                "kind": "pattern-run",
+                "run_id": run_id,
+                "miner": miner,
+                "algorithm": result.algorithm,
+                "minsup": result.minsup,
+                "config": config,
+                "dataset": dataset,
+                "cache_key": cache_key(fingerprint, miner, config),
+                "elapsed_seconds": result.elapsed_seconds,
+                "n_patterns": len(result.patterns),
+                "created": time.time(),
+            }
+            run_dir.mkdir(parents=True, exist_ok=True)
+            _atomic_write_text(run_dir / "patterns.txt", payload)
+            # meta.json lands last: its presence marks the run complete.
+            _atomic_write_text(
+                run_dir / "meta.json", json.dumps(meta, indent=2) + "\n"
+            )
+            _SAVES.inc(outcome="written")
         return run_id
 
     # ------------------------------------------------------------------
@@ -198,9 +221,11 @@ class PatternStore:
 
     def load(self, run_id: str) -> StoredRun:
         """Load a run completely; the result is bit-identical to the save."""
-        meta = self.meta(run_id)
-        payload = (self._runs_dir / run_id / "patterns.txt").read_text()
-        patterns = decode_patterns(payload)
+        with trace.span("store_load", run_id=run_id), _LOAD_SECONDS.time():
+            meta = self.meta(run_id)
+            payload = (self._runs_dir / run_id / "patterns.txt").read_text()
+            patterns = decode_patterns(payload)
+        _LOADS.inc()
         if meta.get("n_patterns") != len(patterns):
             raise ValueError(
                 f"run {run_id}: meta declares {meta.get('n_patterns')} patterns "

@@ -32,7 +32,6 @@ assert exactly this.
 
 from __future__ import annotations
 
-import time
 from collections.abc import Iterable
 from dataclasses import dataclass
 
@@ -52,6 +51,7 @@ from repro.kernels import TidsetMatrix, use_backend
 from repro.kernels.backend import backend as kernels_backend
 from repro.mining.levelwise import mine_up_to_size
 from repro.mining.results import MiningResult, Pattern, largest_patterns
+from repro.obs import clock, metrics, trace
 from repro.streaming.report import DriftReport, SlideStats
 from repro.streaming.window import SlidingWindowDatabase
 
@@ -63,6 +63,18 @@ __all__ = [
 ]
 
 _MASK64 = (1 << 64) - 1
+
+# Slide telemetry: every slide lands exactly one decision sample, labelled
+# with *why* the maintenance path was chosen — the reasons mirror the
+# rebuild/refuse conditions in :meth:`IncrementalPatternFusion.slide`.
+_SLIDE_DECISIONS = metrics.counter(
+    "repro_stream_slide_decisions_total",
+    "Window slides by maintenance decision (rebuild/refuse/carry) and reason",
+    ("decision", "reason"),
+)
+_SLIDE_SECONDS = metrics.histogram(
+    "repro_stream_slide_seconds", "End-to-end latency of one window slide"
+)
 
 
 def slide_seed(seed: int | None, slide: int) -> int:
@@ -218,87 +230,107 @@ class IncrementalPatternFusion:
 
     def slide(self, batch: Iterable[Iterable[int]]) -> SlideStats:
         """Ingest one batch, maintain both pools, and record telemetry."""
-        started = time.perf_counter()
-        arrivals = [frozenset(row) for row in batch]
-        window = self.window
-        # Any append *or* evict outside slide() desynchronises carried
-        # tidsets; both move one of the stream positions.
-        out_of_band = (window.start, window.end) != self._stream_span
-        w_before = len(window)
-        capacity = window.capacity
-        if capacity is not None:
-            overflow = max(0, w_before + len(arrivals) - capacity)
-            evicted_old = min(w_before, overflow)
-        else:
-            evicted_old = 0
-        surviving_old = w_before - evicted_old
-        # A batch larger than the capacity turns the whole window over
-        # (surviving_old == 0), which takes the rebuild path below — so the
-        # revalidation delta is always exactly the arrivals.
-        kept = arrivals
-        evicted_total = window.extend(arrivals)
-        minsup_abs = window.absolute_minsup(self.minsup) if len(window) else 1
+        started = clock.monotonic()
+        with trace.span("stream_slide", index=self._slides) as slide_span:
+            arrivals = [frozenset(row) for row in batch]
+            window = self.window
+            # Any append *or* evict outside slide() desynchronises carried
+            # tidsets; both move one of the stream positions.
+            out_of_band = (window.start, window.end) != self._stream_span
+            w_before = len(window)
+            capacity = window.capacity
+            if capacity is not None:
+                overflow = max(0, w_before + len(arrivals) - capacity)
+                evicted_old = min(w_before, overflow)
+            else:
+                evicted_old = 0
+            surviving_old = w_before - evicted_old
+            # A batch larger than the capacity turns the whole window over
+            # (surviving_old == 0), which takes the rebuild path below — so
+            # the revalidation delta is always exactly the arrivals.
+            kept = arrivals
+            evicted_total = window.extend(arrivals)
+            minsup_abs = window.absolute_minsup(self.minsup) if len(window) else 1
 
-        rebuild = (
-            out_of_band
-            or self._minsup_abs is None
-            or surviving_old == 0
-            or minsup_abs < self._minsup_abs
-        )
-        before_items = {p.items for p in self._patterns}
-        if rebuild:
-            initial, revalidated, initial_births, initial_deaths, pool_deaths = (
-                self._rebuild(minsup_abs)
-            )
-        else:
-            initial, revalidated, initial_births, initial_deaths, pool_deaths = (
-                self._revalidate(kept, evicted_old, surviving_old, minsup_abs)
-            )
-        self._initial = initial
+            # The decision taxonomy: each slide takes exactly one path, and
+            # the first matching reason names why (ordering mirrors the
+            # rebuild condition below).
+            if out_of_band:
+                reason = "out_of_band"
+            elif self._minsup_abs is None:
+                reason = "cold_start"
+            elif surviving_old == 0:
+                reason = "window_turnover"
+            elif minsup_abs < self._minsup_abs:
+                reason = "minsup_drop"
+            else:
+                reason = None
+            rebuild = reason is not None
+            before_items = {p.items for p in self._patterns}
+            if rebuild:
+                initial, revalidated, initial_births, initial_deaths, pool_deaths = (
+                    self._rebuild(minsup_abs)
+                )
+            else:
+                initial, revalidated, initial_births, initial_deaths, pool_deaths = (
+                    self._revalidate(kept, evicted_old, surviving_old, minsup_abs)
+                )
+            self._initial = initial
 
-        invalidated = bool(
-            rebuild or initial_births or initial_deaths or pool_deaths
-        )
-        refused = self.policy == "always" or invalidated
-        if refused and initial:
-            config = self.config.reseeded(
-                slide_seed(self.config.seed, self._slides)
+            invalidated = bool(
+                rebuild or initial_births or initial_deaths or pool_deaths
             )
-            runner = PatternFusion(
-                window.snapshot(), minsup_abs, config, executor=self.executor
-            )
-            result = runner.run(initial_pool=self._initial_pool_ordered())
-            self._patterns = list(result.patterns)
-        elif refused:
-            self._patterns = []  # nothing frequent: the pool is empty
-        else:
-            self._patterns = revalidated
+            refused = self.policy == "always" or invalidated
+            if rebuild:
+                decision = "rebuild"
+            elif refused:
+                decision = "refuse"
+                reason = "invalidated" if invalidated else "policy_always"
+            else:
+                decision, reason = "carry", "validated"
+            _SLIDE_DECISIONS.inc(decision=decision, reason=reason)
+            slide_span.set(decision=decision, reason=reason)
+            if refused and initial:
+                config = self.config.reseeded(
+                    slide_seed(self.config.seed, self._slides)
+                )
+                runner = PatternFusion(
+                    window.snapshot(), minsup_abs, config, executor=self.executor
+                )
+                result = runner.run(initial_pool=self._initial_pool_ordered())
+                self._patterns = list(result.patterns)
+            elif refused:
+                self._patterns = []  # nothing frequent: the pool is empty
+            else:
+                self._patterns = revalidated
 
-        after_items = {p.items for p in self._patterns}
-        top = self.largest(1)
-        stats = SlideStats(
-            index=self._slides,
-            arrived=len(arrivals),
-            evicted=evicted_total,
-            window_size=len(window),
-            minsup=minsup_abs,
-            initial_pool_size=len(initial),
-            initial_births=initial_births,
-            initial_deaths=initial_deaths,
-            pool_size=len(self._patterns),
-            births=len(after_items - before_items),
-            deaths=len(before_items - after_items),
-            refused=refused,
-            rebuilt=rebuild,
-            largest_size=top[0].size if top else 0,
-            largest_support=top[0].support if top else 0,
-            seconds=time.perf_counter() - started,
-        )
-        self.report.record(stats)
-        self._slides += 1
-        self._minsup_abs = minsup_abs
-        self._stream_span = (window.start, window.end)
-        return stats
+            after_items = {p.items for p in self._patterns}
+            top = self.largest(1)
+            seconds = clock.monotonic() - started
+            _SLIDE_SECONDS.observe(seconds)
+            stats = SlideStats(
+                index=self._slides,
+                arrived=len(arrivals),
+                evicted=evicted_total,
+                window_size=len(window),
+                minsup=minsup_abs,
+                initial_pool_size=len(initial),
+                initial_births=initial_births,
+                initial_deaths=initial_deaths,
+                pool_size=len(self._patterns),
+                births=len(after_items - before_items),
+                deaths=len(before_items - after_items),
+                refused=refused,
+                rebuilt=rebuild,
+                largest_size=top[0].size if top else 0,
+                largest_support=top[0].support if top else 0,
+                seconds=seconds,
+            )
+            self.report.record(stats)
+            self._slides += 1
+            self._minsup_abs = minsup_abs
+            self._stream_span = (window.start, window.end)
+            return stats
 
     # ------------------------------------------------------------------
     # Pool maintenance

@@ -21,6 +21,7 @@ PUBLIC_PACKAGES = [
     "repro.experiments",
     "repro.kernels",
     "repro.mining",
+    "repro.obs",
     "repro.sequences",
     "repro.serve",
     "repro.store",

@@ -175,3 +175,90 @@ class TestErrors:
                 server.url + "/mine", {"dataset": "diag", "miner": "eclat"},
             ))
         assert code == 403 and "disabled" in message
+
+
+def get_raw(url, headers=None):
+    request = urllib.request.Request(url, headers=headers or {})
+    with urllib.request.urlopen(request, timeout=10) as response:
+        return response.status, dict(response.headers), response.read().decode()
+
+
+class TestObservability:
+    def test_metrics_endpoint_renders_prometheus_text(self, served):
+        server, _, _ = served
+        get(server.url + "/health")  # guarantee at least one counted request
+        status, headers, text = get_raw(server.url + "/metrics")
+        assert status == 200
+        assert headers["Content-Type"] == "text/plain; version=0.0.4; charset=utf-8"
+        assert "# TYPE repro_http_requests_total counter" in text
+        assert 'repro_http_requests_total{method="GET",route="/health",status="200"}' in text
+        assert "# TYPE repro_http_request_seconds histogram" in text
+        assert 'repro_http_request_seconds_bucket{route="/health",le="+Inf"}' in text
+
+    def test_fusion_phase_metrics_visible_in_scrape(self, served):
+        # The module fixture mined a pattern_fusion run in this process, so
+        # the fusion-phase counters must be populated in the scrape.
+        server, _, _ = served
+        _, _, text = get_raw(server.url + "/metrics")
+        assert "repro_fusion_rounds_total" in text
+        assert "repro_mine_cached_total" in text
+        assert "repro_store_saves_total" in text
+
+    def test_request_counter_increments_per_scrape(self, served):
+        server, _, _ = served
+        series = 'repro_http_requests_total{method="GET",route="/health",status="200"}'
+
+        def health_count():
+            _, _, text = get_raw(server.url + "/metrics")
+            line = next(l for l in text.splitlines() if l.startswith(series))
+            return int(line.rsplit(" ", 1)[1])
+
+        before = health_count()
+        get(server.url + "/health")
+        assert health_count() == before + 1
+
+    def test_run_detail_routes_share_one_metric_label(self, served):
+        server, _, outcome = served
+        get(f"{server.url}/runs/{outcome.run_id}")
+        _, _, text = get_raw(server.url + "/metrics")
+        # Cardinality bound: per-run paths collapse to the /runs/{id} label.
+        assert 'route="/runs/{id}"' in text
+        assert outcome.run_id not in text
+
+    def test_request_id_generated_when_absent(self, served):
+        server, _, _ = served
+        _, headers, _ = get_raw(server.url + "/health")
+        assert headers.get("X-Request-Id")
+
+    def test_request_id_echoed_when_sent(self, served):
+        server, _, _ = served
+        _, headers, _ = get_raw(
+            server.url + "/health", headers={"X-Request-Id": "req-abc-123"}
+        )
+        assert headers["X-Request-Id"] == "req-abc-123"
+
+    def test_access_log_record_is_structured(self, served):
+        import logging
+
+        server, _, _ = served
+        records = []
+
+        class Capture(logging.Handler):
+            def emit(self, record):
+                records.append(record)
+
+        logger = logging.getLogger("repro.serve.access")
+        handler = Capture(level=logging.INFO)
+        previous_level = logger.level
+        logger.addHandler(handler)
+        logger.setLevel(logging.INFO)
+        try:
+            get_raw(server.url + "/health", headers={"X-Request-Id": "log-probe"})
+        finally:
+            logger.removeHandler(handler)
+            logger.setLevel(previous_level)
+        record = next(r for r in records if r.request_id == "log-probe")
+        assert record.method == "GET"
+        assert record.route == "/health"
+        assert record.status == 200
+        assert record.duration_ms >= 0
