@@ -20,11 +20,15 @@ Subcommands
     Maintain Pattern-Fusion incrementally over a sliding-window stream
     (FIMI replay or a drifting synthetic source) and print the drift report.
 ``store``
-    Inspect a pattern store: ``ls`` the runs, ``show`` one run, ``query``
-    a run's pool with the composable operators.
+    Inspect a pattern store: ``ls`` the runs (``--json`` adds format
+    version and on-disk bytes), ``show`` one run, ``query`` a run's pool
+    with the composable operators, ``migrate`` v1-only runs to the
+    mmap-able binary format (idempotent, run ids unchanged).
 ``serve``
-    Serve a pattern store over the HTTP JSON API
-    (:class:`repro.serve.PatternServer`).
+    Serve a pattern store over the HTTP JSON API — threaded in-process
+    by default (:class:`repro.serve.PatternServer`), or ``--workers N``
+    for the pre-forked production tier with bounded request queues and
+    crash-respawn supervision (:class:`repro.serve.PreforkServer`).
 
 Every mining subcommand dispatches through the central registry
 (:mod:`repro.api.registry`); the legacy ``mine --algorithm`` spelling is
@@ -230,6 +234,17 @@ def build_parser() -> argparse.ArgumentParser:
     store_sub = store.add_subparsers(dest="store_command", required=True)
     ls = store_sub.add_parser("ls", help="list runs and streams")
     _add_store_arg(ls)
+    ls.add_argument("--json", action="store_true",
+                    help="print runs as JSON records with on-disk format "
+                         "version and byte sizes")
+    migrate = store_sub.add_parser(
+        "migrate",
+        help="write the binary run format (patterns.bin) for v1-only runs",
+    )
+    _add_store_arg(migrate)
+    migrate.add_argument("--run", default=None, metavar="RUN_ID",
+                         help="migrate one run (default: every run missing "
+                              "patterns.bin); idempotent, run ids unchanged")
     show = store_sub.add_parser("show", help="print one run")
     _add_store_arg(show)
     show.add_argument("run_id", help="content-hashed run id (see `store ls`)")
@@ -274,6 +289,14 @@ def build_parser() -> argparse.ArgumentParser:
                        help="in-process LRU capacity for hot query results")
     serve.add_argument("--no-mine", action="store_true",
                        help="disable the POST /mine endpoint (read-only)")
+    serve.add_argument("--workers", type=_non_negative_int, default=0,
+                       help="pre-fork this many worker processes sharing the "
+                            "socket (0 = threaded single process; POSIX only)")
+    serve.add_argument("--queue-depth", type=_positive_int, default=64,
+                       help="per-worker bounded request queue; overflow is "
+                            "answered 503 (prefork mode)")
+    serve.add_argument("--threads", type=_positive_int, default=8,
+                       help="handler threads per worker (prefork mode)")
     return parser
 
 
@@ -725,7 +748,9 @@ def _cmd_store(args: argparse.Namespace) -> int:
     try:
         store = _open_store(args)
         if args.store_command == "ls":
-            return _store_ls(store)
+            return _store_ls(store, args)
+        if args.store_command == "migrate":
+            return _store_migrate(store, args)
         if args.store_command == "show":
             return _store_show(store, args)
         return _store_query(store, args)
@@ -735,7 +760,21 @@ def _cmd_store(args: argparse.Namespace) -> int:
         return 2
 
 
-def _store_ls(store) -> int:
+def _store_ls(store, args: argparse.Namespace) -> int:
+    if args.json:
+        records = [store.run_info(run_id) for run_id in store.run_ids()]
+        print(json.dumps(
+            {
+                "store": str(store.root),
+                "runs": records,
+                "streams": {
+                    name: len(store.read_slides(name))
+                    for name in store.stream_names()
+                },
+            },
+            indent=2,
+        ))
+        return 0
     metas = list(store.metas())
     if not metas:
         print(f"empty store at {store.root}")
@@ -752,6 +791,18 @@ def _store_ls(store) -> int:
         )
     for name in store.stream_names():
         print(f"stream {name!r}: {len(store.read_slides(name))} slides")
+    return 0
+
+
+def _store_migrate(store, args: argparse.Namespace) -> int:
+    migrated = store.migrate(args.run)
+    for run_id in migrated:
+        print(f"migrated run {run_id} -> patterns.bin")
+    scope = f"run {args.run}" if args.run else f"{len(store)} runs"
+    print(
+        f"{len(migrated)} migrated, checked {scope} in {store.root} "
+        "(run ids unchanged)"
+    )
     return 0
 
 
@@ -832,13 +883,15 @@ def _store_query(store, args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
-    from repro.serve import PatternServer
-
     try:
         store = _open_store(args)
     except _CliError as error:
         print(error, file=sys.stderr)
         return 2
+    if args.workers:
+        return _serve_prefork(store, args)
+    from repro.serve import PatternServer
+
     server = PatternServer(
         store,
         host=args.host,
@@ -858,6 +911,35 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print("shutting down")
     finally:
         server.close()
+    return 0
+
+
+def _serve_prefork(store, args: argparse.Namespace) -> int:
+    from repro.serve import PreforkServer
+
+    try:
+        server = PreforkServer(
+            store,
+            host=args.host,
+            port=args.port,
+            workers=args.workers,
+            queue_depth=args.queue_depth,
+            threads=args.threads,
+            cache_size=args.cache_size,
+            allow_mine=not args.no_mine,
+        )
+    except RuntimeError as error:  # no os.fork on this platform
+        print(error, file=sys.stderr)
+        return 2
+    print(
+        f"serving {len(store)} runs from {args.store} on {server.url} "
+        f"({args.workers} pre-forked workers, queue depth "
+        f"{args.queue_depth}, {args.threads} threads each; "
+        "SIGTERM/Ctrl-C drains)",
+        flush=True,
+    )
+    server.serve_forever()
+    print("drained and stopped", flush=True)
     return 0
 
 

@@ -26,7 +26,14 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any
 
-__all__ = ["BenchRecord", "bench_path", "write_bench", "read_bench"]
+__all__ = [
+    "BenchRecord",
+    "bench_path",
+    "latency_summary",
+    "percentile",
+    "read_bench",
+    "write_bench",
+]
 
 #: Schema version of the trajectory files.
 BENCH_FORMAT = 1
@@ -42,6 +49,42 @@ class BenchRecord:
 
     def as_dict(self) -> dict[str, Any]:
         return {"name": self.name, "seconds": self.seconds, "meta": self.meta}
+
+
+def percentile(samples: list[float], q: float) -> float:
+    """The ``q``-th percentile (0..100) by linear interpolation.
+
+    The one percentile definition every BENCH suite shares (matches
+    ``numpy.percentile``'s default), so p50/p99 are comparable across
+    trajectory files without depending on numpy.
+    """
+    if not samples:
+        raise ValueError("percentile of an empty sample")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile q must be in [0, 100], got {q}")
+    ordered = sorted(samples)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (len(ordered) - 1) * (q / 100.0)
+    low = int(rank)
+    high = min(low + 1, len(ordered) - 1)
+    weight = rank - low
+    return ordered[low] * (1.0 - weight) + ordered[high] * weight
+
+
+def latency_summary(samples: list[float]) -> dict[str, float]:
+    """p50/p90/p99/mean/max/n for one latency sample set (seconds in, out).
+
+    The shared shape for every latency-flavoured BENCH record's ``meta``.
+    """
+    return {
+        "n": len(samples),
+        "mean": sum(samples) / len(samples),
+        "p50": percentile(samples, 50.0),
+        "p90": percentile(samples, 90.0),
+        "p99": percentile(samples, 99.0),
+        "max": max(samples),
+    }
 
 
 def bench_path(root: str | Path, suite: str) -> Path:

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from collections.abc import Iterable, Sequence
-from typing import TYPE_CHECKING, ClassVar
+from typing import TYPE_CHECKING, Any, ClassVar
 
 from repro.db.bitset import bitset_to_ids
 from repro.obs import metrics
@@ -90,6 +90,48 @@ class TidsetMatrix(ABC):
         if name != "stdlib":
             raise ValueError(f"unknown kernels backend {name!r}")
         _MATRIX_BUILDS.inc(backend="stdlib")
+        return StdlibTidsetMatrix(rows, n_bits)
+
+    @staticmethod
+    def from_words_buffer(
+        buffer: Any,
+        n_rows: int,
+        n_bits: int,
+        backend: str | None = None,
+    ) -> "TidsetMatrix":
+        """Wrap pre-packed little-endian uint64 row words without repacking.
+
+        ``buffer`` is any bytes-like of exactly ``n_rows * W * 8`` bytes
+        (``W = max(1, ceil(n_bits / 64))``), row ``i`` occupying words
+        ``[i*W, (i+1)*W)`` — the layout ``NumpyTidsetMatrix`` packs and the
+        binary run format (:mod:`repro.store.binfmt`) stores on disk.  Under
+        the NumPy backend the matrix is a **zero-copy view** of the buffer
+        (a memoryview over an ``mmap`` keeps the mapping alive); the stdlib
+        backend converts rows to big ints in one ``int.from_bytes`` sweep.
+        """
+        from repro.kernels.backend import backend as active_backend
+
+        n_words = max(1, -(-n_bits // 64))
+        width = n_words * 8
+        view = memoryview(buffer)
+        if view.nbytes != n_rows * width:
+            raise ValueError(
+                f"buffer holds {view.nbytes} bytes; {n_rows} rows x "
+                f"{n_words} words need {n_rows * width}"
+            )
+        name = backend if backend is not None else active_backend()
+        if name == "numpy":
+            from repro.kernels.numpy_backend import NumpyTidsetMatrix
+
+            _MATRIX_BUILDS.inc(backend="numpy")
+            return NumpyTidsetMatrix.from_words_buffer(view, n_rows, n_bits)
+        if name != "stdlib":
+            raise ValueError(f"unknown kernels backend {name!r}")
+        _MATRIX_BUILDS.inc(backend="stdlib")
+        rows = [
+            int.from_bytes(view[i * width:(i + 1) * width], "little")
+            for i in range(n_rows)
+        ]
         return StdlibTidsetMatrix(rows, n_bits)
 
     @staticmethod

@@ -71,6 +71,29 @@ class NumpyTidsetMatrix(TidsetMatrix):
             self._words = np.zeros((0, self._n_words), dtype=np.uint64)
         self._pops: np.ndarray | None = None
 
+    @classmethod
+    def from_words_buffer(
+        cls, buffer: object, n_rows: int, n_bits: int
+    ) -> "NumpyTidsetMatrix":
+        """Wrap an already-packed word buffer as a matrix, **zero copy**.
+
+        The words array is a ``np.frombuffer`` view of ``buffer`` — when the
+        buffer is a memoryview over an ``mmap``, the file pages *are* the
+        matrix (read-only; no kernel primitive writes to ``_words``), and
+        the array's base reference keeps the mapping alive.  Packing is
+        skipped entirely, which is what makes a binary-format cold open
+        O(1) in the pool size.
+        """
+        matrix = object.__new__(cls)
+        matrix._n_rows = n_rows
+        matrix._n_bits = n_bits
+        matrix._n_words = max(1, -(-n_bits // 64))
+        matrix._words = np.frombuffer(
+            buffer, dtype="<u8", count=n_rows * matrix._n_words
+        ).reshape(n_rows, matrix._n_words)
+        matrix._pops = None
+        return matrix
+
     @property
     def n_rows(self) -> int:
         return self._n_rows

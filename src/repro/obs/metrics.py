@@ -46,6 +46,7 @@ __all__ = [
     "gauge",
     "histogram",
     "render",
+    "render_snapshots",
 ]
 
 #: Default latency buckets (seconds): sub-millisecond serving requests up to
@@ -145,6 +146,28 @@ class Metric:
         """A plain snapshot of every series (programmatic access)."""
         with self._lock:
             return dict(self._values)
+
+    def snapshot(self) -> dict[str, Any]:
+        """A JSON-safe image of this family for :func:`render_snapshots`.
+
+        Workers in the pre-forked serving tier write these to a spool
+        directory so one scrape can merge every process's registry.
+        """
+        with self._lock:
+            series = [
+                [list(key), self._snapshot_value(value)]
+                for key, value in sorted(self._values.items())
+            ]
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "help": self.help,
+            "labelnames": list(self.labelnames),
+            "series": series,
+        }
+
+    def _snapshot_value(self, value: Any) -> Any:
+        return value
 
     def value(self, **labels: Any) -> Any:
         """One series' current value (0 when never touched)."""
@@ -266,6 +289,15 @@ class Histogram(Metric):
         lines.append(f"{self._series_name(key, '_count')} {count}")
         return lines
 
+    def snapshot(self) -> dict[str, Any]:
+        snap = super().snapshot()
+        snap["buckets"] = list(self.buckets)
+        return snap
+
+    def _snapshot_value(self, value: Any) -> Any:
+        per_bucket, total, count = value
+        return [list(per_bucket), total, count]
+
     def count(self, **labels: Any) -> int:
         """Number of observations in one series (0 when never touched)."""
         key = self._key(labels)
@@ -358,6 +390,12 @@ class MetricsRegistry:
             metrics = dict(self._metrics)
         return {name: metric.collect() for name, metric in metrics.items()}
 
+    def snapshot(self) -> list[dict[str, Any]]:
+        """Every family's :meth:`Metric.snapshot`, name-sorted (JSON-safe)."""
+        with self._lock:
+            metrics = [self._metrics[name] for name in sorted(self._metrics)]
+        return [metric.snapshot() for metric in metrics]
+
     def reset(self) -> None:
         """Zero every metric's series, keeping registrations (test hook)."""
         with self._lock:
@@ -393,3 +431,77 @@ def histogram(name: str, help: str = "",
 def render() -> str:
     """The default registry in Prometheus text format."""
     return REGISTRY.render()
+
+
+def _series_line(name: str, pairs: tuple[tuple[str, str], ...], value: str) -> str:
+    labels = ",".join(f'{label}="{_escape_label(str(v))}"' for label, v in pairs)
+    return f"{name}{{{labels}}} {value}" if labels else f"{name} {value}"
+
+
+def _snapshot_series_lines(
+    family: dict[str, Any],
+    key: tuple[str, ...],
+    value: Any,
+    extra: tuple[tuple[str, str], ...],
+) -> list[str]:
+    """Exposition lines for one snapshot series, ``extra`` labels appended."""
+    name = family["name"]
+    pairs = tuple(zip(family["labelnames"], key)) + extra
+    if family["kind"] != "histogram":
+        return [_series_line(name, pairs, _format_value(value))]
+    per_bucket, total, count = value
+    lines = []
+    cumulative = 0
+    for edge, bucket_count in zip(family["buckets"], per_bucket):
+        cumulative += bucket_count
+        lines.append(_series_line(
+            name + "_bucket",
+            pairs + (("le", _format_value(edge)),),
+            str(cumulative),
+        ))
+    cumulative += per_bucket[-1]
+    lines.append(
+        _series_line(name + "_bucket", pairs + (("le", "+Inf"),), str(cumulative))
+    )
+    lines.append(_series_line(name + "_sum", pairs, _format_value(total)))
+    lines.append(_series_line(name + "_count", pairs, str(count)))
+    return lines
+
+
+def render_snapshots(
+    tagged: list[tuple[dict[str, str], list[dict[str, Any]]]],
+) -> str:
+    """Merge registry snapshots into one Prometheus text exposition.
+
+    ``tagged`` pairs a dict of extra labels with a
+    :meth:`MetricsRegistry.snapshot` image (possibly round-tripped through
+    JSON) — the pre-forked serving tier tags each worker's snapshot with
+    ``{"worker": "<i>"}`` so one scrape shows every process's series side
+    by side.  Families sharing a name must agree on kind; HELP/TYPE render
+    once per family.
+    """
+    families: dict[str, dict[str, Any]] = {}
+    lines_of: dict[str, list[str]] = {}
+    for extra, snapshot in tagged:
+        extra_pairs = tuple(sorted((str(k), str(v)) for k, v in extra.items()))
+        for family in snapshot:
+            name = family["name"]
+            known = families.setdefault(name, family)
+            if known["kind"] != family["kind"]:
+                raise ValueError(
+                    f"metric {name!r} snapshotted as both "
+                    f"{known['kind']} and {family['kind']}"
+                )
+            bucket = lines_of.setdefault(name, [])
+            for key, value in family["series"]:
+                bucket.extend(
+                    _snapshot_series_lines(family, tuple(key), value, extra_pairs)
+                )
+    lines: list[str] = []
+    for name in sorted(families):
+        family = families[name]
+        if family.get("help"):
+            lines.append(f"# HELP {name} {_escape_help(family['help'])}")
+        lines.append(f"# TYPE {name} {family['kind']}")
+        lines.extend(lines_of[name])
+    return "\n".join(lines) + "\n" if lines else ""

@@ -1,12 +1,31 @@
 """Serving layer: the pattern store over a zero-dependency HTTP JSON API.
 
-:class:`PatternServer` (see :mod:`repro.serve.app`) wraps a
-:class:`repro.store.PatternStore` in a stdlib ``ThreadingHTTPServer`` with
-in-process LRU caches for hot runs and queries — the ``repro serve``
-subcommand is a thin shell around it, and tests drive it on a background
-thread via ``with PatternServer(store) as server: ...``.
+:class:`PatternApp` (see :mod:`repro.serve.app`) is the HTTP-free core —
+store access, LRU caches, request dispatch.  Two servers host it:
+
+- :class:`PatternServer` — the single-process ``ThreadingHTTPServer``
+  wrapper; tests drive it on a background thread via
+  ``with PatternServer(store) as server: ...``.
+- :class:`PreforkServer` (see :mod:`repro.serve.prefork`) — the
+  production tier: pre-forked workers sharing the listening socket and
+  the warm mmap'd run matrices, bounded per-worker request queues (503
+  on overflow), crash-respawn supervision, graceful SIGTERM drain.
+  Per-worker metrics merge at ``GET /metrics`` through
+  :class:`MetricsSpool` (see :mod:`repro.serve.metrics`).
+
+``repro serve`` is a thin shell around both: ``--workers 0`` (default)
+serves threaded in-process, ``--workers N`` forks.
 """
 
-from repro.serve.app import PatternServer, pattern_record
+from repro.serve.app import PatternApp, PatternServer, pattern_record
+from repro.serve.metrics import MetricsSpool
+from repro.serve.prefork import PreforkServer, WorkerServer
 
-__all__ = ["PatternServer", "pattern_record"]
+__all__ = [
+    "MetricsSpool",
+    "PatternApp",
+    "PatternServer",
+    "PreforkServer",
+    "WorkerServer",
+    "pattern_record",
+]

@@ -21,11 +21,15 @@ structured access-log line (logger ``repro.serve.access``), and an
 labels are normalised (``/runs/<id>`` → ``/runs/{id}``; unknown paths →
 ``other``) so label cardinality stays bounded under hostile traffic.
 
-Built on the stdlib ``ThreadingHTTPServer`` — one thread per connection, no
-framework — with two in-process LRUs in front of the disk: loaded runs
-(payload + prebuilt :class:`repro.store.index.InvertedItemIndex`) and hot
-query results.  Both caches are safe because the store is content-addressed
-and append-only: a run id's content can never change under a cached entry.
+The HTTP-free core is :class:`PatternApp`: dispatch, validation, and two
+in-process LRUs in front of the disk — loaded runs (payload + prebuilt
+:class:`repro.store.index.InvertedItemIndex`) and hot query results.  Both
+caches are safe because the store is content-addressed and append-only: a
+run id's content can never change under a cached entry (deleting a run
+*under* the cache is detected and answered 404, with the entry dropped).
+:class:`PatternServer` wraps the app in the stdlib ``ThreadingHTTPServer``
+— one thread per connection, no framework; the pre-forked production tier
+(:mod:`repro.serve.prefork`) shares the same app across worker processes.
 
 Pattern records on the wire carry ``items``, ``size``, ``support``, and the
 ``tidset`` as hex — everything needed to rebuild the exact in-memory
@@ -55,7 +59,7 @@ from repro.store.index import InvertedItemIndex
 from repro.store.query import Query, run_query
 from repro.store.store import PatternStore, StoredRun
 
-__all__ = ["PatternServer", "pattern_record"]
+__all__ = ["PatternApp", "PatternServer", "pattern_record"]
 
 #: Default number of pattern records embedded in /mine and /runs/<id> bodies.
 DEFAULT_LIMIT = 50
@@ -131,20 +135,19 @@ def _run_summary(meta: dict[str, Any]) -> dict[str, Any]:
     }
 
 
-class PatternServer:
-    """Serve a :class:`PatternStore` over HTTP; see the module docstring.
+class PatternApp:
+    """The HTTP-free serving core: dispatch, validation, and the LRUs.
 
-    ``port=0`` binds an ephemeral port (read it back from :attr:`port` —
-    the tests and the ``repro serve`` banner do).  ``allow_mine=False``
-    turns ``/mine`` off for read-only deployments.  Use as a context
-    manager, or call :meth:`start` / :meth:`close` explicitly.
+    One app instance is shared by every handler thread of a
+    :class:`PatternServer` — and, in the pre-forked tier, by every worker
+    *process* (built and warmed before the fork so the caches' pages are
+    inherited copy-on-write).  ``allow_mine=False`` turns ``/mine`` off
+    for read-only deployments.
     """
 
     def __init__(
         self,
         store: PatternStore,
-        host: str = "127.0.0.1",
-        port: int = 0,
         cache_size: int = 256,
         allow_mine: bool = True,
     ) -> None:
@@ -154,53 +157,24 @@ class PatternServer:
         # Loaded runs are far heavier than query results but far fewer; a
         # small fixed bound keeps the hot working set resident.
         self.run_cache = LRUCache(max(8, cache_size // 16))
-        self._httpd = _StoreHTTPServer((host, port), _Handler, app=self)
-        self._thread: threading.Thread | None = None
 
-    # ------------------------------------------------------------------
-    # Lifecycle
-    # ------------------------------------------------------------------
+    def warm(self) -> int:
+        """Preload runs (payload + index) into the run cache, newest-id last.
 
-    @property
-    def host(self) -> str:
-        return self._httpd.server_address[0]
-
-    @property
-    def port(self) -> int:
-        """The bound port (resolves ``port=0`` to the kernel's choice)."""
-        return self._httpd.server_address[1]
-
-    @property
-    def url(self) -> str:
-        return f"http://{self.host}:{self.port}"
-
-    def start(self) -> "PatternServer":
-        """Serve on a daemon thread and return immediately."""
-        if self._thread is not None:
-            raise RuntimeError("server already started")
-        self._thread = threading.Thread(
-            target=self._httpd.serve_forever, name="repro-serve", daemon=True
-        )
-        self._thread.start()
-        return self
-
-    def serve_forever(self) -> None:
-        """Serve on the calling thread until interrupted (the CLI path)."""
-        self._httpd.serve_forever()
-
-    def close(self) -> None:
-        """Stop serving and release the socket."""
-        self._httpd.shutdown()
-        self._httpd.server_close()
-        if self._thread is not None:
-            self._thread.join(timeout=5)
-            self._thread = None
-
-    def __enter__(self) -> "PatternServer":
-        return self.start()
-
-    def __exit__(self, *exc_info: object) -> None:
-        self.close()
+        The pre-forked server calls this once in the supervisor so every
+        forked worker starts with the working set hot and page-shared.
+        Stops at the run cache's capacity; returns the number warmed.
+        """
+        warmed = 0
+        for run_id in self.store.run_ids():
+            if warmed >= self.run_cache.capacity:
+                break
+            try:
+                self._load_run(run_id)
+            except _ApiError:  # pragma: no cover - raced delete during warm
+                continue
+            warmed += 1
+        return warmed
 
     # ------------------------------------------------------------------
     # Request handling (called from handler threads)
@@ -235,6 +209,9 @@ class PatternServer:
     def _health(self) -> dict[str, Any]:
         return {
             "status": "ok",
+            # The answering process — in the pre-forked tier this tells the
+            # client (and the supervision tests) *which worker* served it.
+            "pid": os.getpid(),
             "format": FORMAT_VERSION,
             "runs": len(self.store),
             "streams": self.store.stream_names(),
@@ -246,11 +223,22 @@ class PatternServer:
     def _load_run(self, run_id: str) -> tuple[StoredRun, InvertedItemIndex]:
         cached = self.run_cache.get(run_id)
         if cached is not None:
-            return cached
+            if run_id in self.store:
+                return cached
+            # The run was deleted on disk under the cache: drop the entry
+            # and answer 404 — not a 500 from the stale load below.
+            self.run_cache.invalidate(run_id)
+            raise _ApiError(404, f"run {run_id} was deleted from the store")
         try:
             run = self.store.load(run_id)
         except KeyError as exc:
             raise _ApiError(404, str(exc.args[0])) from None
+        except FileNotFoundError:
+            # meta.json exists but the payload is gone (partial delete).
+            self.run_cache.invalidate(run_id)
+            raise _ApiError(
+                404, f"run {run_id} is missing its payload on disk"
+            ) from None
         entry = (run, InvertedItemIndex(run.patterns))
         self.run_cache.put(run_id, entry)
         return entry
@@ -332,6 +320,73 @@ class PatternServer:
         }
 
 
+class PatternServer(PatternApp):
+    """A :class:`PatternApp` behind the stdlib ``ThreadingHTTPServer``.
+
+    ``port=0`` binds an ephemeral port (read it back from :attr:`port` —
+    the tests and the ``repro serve`` banner do).  Use as a context
+    manager, or call :meth:`start` / :meth:`close` explicitly.  For
+    multi-process serving see :class:`repro.serve.prefork.PreforkServer`.
+    """
+
+    def __init__(
+        self,
+        store: PatternStore,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        cache_size: int = 256,
+        allow_mine: bool = True,
+    ) -> None:
+        super().__init__(store, cache_size=cache_size, allow_mine=allow_mine)
+        self._httpd = _StoreHTTPServer((host, port), _Handler, app=self)
+        self._thread: threading.Thread | None = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def host(self) -> str:
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        """The bound port (resolves ``port=0`` to the kernel's choice)."""
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "PatternServer":
+        """Serve on a daemon thread and return immediately."""
+        if self._thread is not None:
+            raise RuntimeError("server already started")
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever, name="repro-serve", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread until interrupted (the CLI path)."""
+        self._httpd.serve_forever()
+
+    def close(self) -> None:
+        """Stop serving and release the socket."""
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+
+    def __enter__(self) -> "PatternServer":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
 def _limit_of(query: dict[str, list[str]]) -> int | None:
     values = query.get("limit")
     if not values:
@@ -348,9 +403,17 @@ class _StoreHTTPServer(ThreadingHTTPServer):
 
     daemon_threads = True
 
-    def __init__(self, address, handler, app: PatternServer) -> None:
+    def __init__(self, address, handler, app: PatternApp) -> None:
         self.app = app
         super().__init__(address, handler)
+
+    def render_metrics(self) -> str:
+        """What ``GET /metrics`` returns: this process's registry.
+
+        The pre-forked tier's worker server overrides this to merge every
+        worker's spooled snapshot into one exposition.
+        """
+        return REGISTRY.render()
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -426,7 +489,7 @@ class _Handler(BaseHTTPRequestHandler):
                 # Rendering after self-accounting means a scrape sees itself.
                 self._write(
                     status,
-                    REGISTRY.render().encode(),
+                    self.server.render_metrics().encode(),
                     "text/plain; version=0.0.4; charset=utf-8",
                     request_id,
                 )

@@ -1,0 +1,101 @@
+"""Per-worker metric snapshots, merged into one ``/metrics`` scrape.
+
+Each process in the pre-forked serving tier has its *own*
+:data:`repro.obs.metrics.REGISTRY` (reset at worker start, so series count
+per-worker traffic).  A scrape landing on one worker must still show the
+whole fleet, so processes share a **spool directory**: every worker (and
+the supervisor) writes an atomic JSON snapshot of its registry —
+amortised after requests and forced on scrape — and the scraped worker
+merges all snapshots through
+:func:`repro.obs.metrics.render_snapshots`, tagging each series with a
+``worker="<id>"`` label.  Plain files, atomic renames, no IPC: a crashed
+worker's last snapshot survives for the supervisor's post-mortem, and a
+half-written file is simply skipped until the rename lands.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+from typing import Any
+
+from repro.obs import metrics
+
+__all__ = ["MetricsSpool"]
+
+
+class MetricsSpool:
+    """A directory of per-process registry snapshots (see module docstring)."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self._last_flush = 0.0
+
+    def _path(self, worker: str) -> Path:
+        return self.root / f"worker-{worker}.json"
+
+    def flush(
+        self, worker: str, registry: metrics.MetricsRegistry | None = None
+    ) -> Path:
+        """Write this process's snapshot now (atomic temp + rename)."""
+        registry = metrics.REGISTRY if registry is None else registry
+        snap = {
+            "worker": str(worker),
+            "pid": os.getpid(),
+            "metrics": registry.snapshot(),
+        }
+        path = self._path(str(worker))
+        tmp = path.with_name(path.name + f".tmp{os.getpid()}")
+        tmp.write_text(json.dumps(snap))
+        os.replace(tmp, path)
+        self._last_flush = time.monotonic()
+        return path
+
+    def maybe_flush(
+        self,
+        worker: str,
+        interval: float = 0.5,
+        registry: metrics.MetricsRegistry | None = None,
+    ) -> bool:
+        """Flush when the last one is older than ``interval`` seconds.
+
+        Called after every handled request: the snapshot stays fresh under
+        load without paying a file write per request.
+        """
+        if time.monotonic() - self._last_flush < interval:
+            return False
+        self.flush(worker, registry)
+        return True
+
+    def snapshots(self) -> list[dict[str, Any]]:
+        """Every readable snapshot in the spool, worker-sorted."""
+        out = []
+        for path in sorted(self.root.glob("worker-*.json")):
+            try:
+                snap = json.loads(path.read_text())
+            except (OSError, json.JSONDecodeError):
+                continue  # mid-rename or torn down; the next scrape catches up
+            if isinstance(snap, dict) and "metrics" in snap:
+                out.append(snap)
+        return out
+
+    def render_merged(
+        self,
+        worker: str | None = None,
+        registry: metrics.MetricsRegistry | None = None,
+    ) -> str:
+        """The whole fleet as one Prometheus exposition.
+
+        ``worker`` names the scraped process: its registry is flushed first
+        so a scrape always sees itself (including the scrape request).
+        """
+        if worker is not None:
+            self.flush(worker, registry)
+        tagged = [
+            ({"worker": snap.get("worker", "?")}, snap["metrics"])
+            for snap in self.snapshots()
+        ]
+        return metrics.render_snapshots(tagged)

@@ -1,0 +1,403 @@
+"""The pre-forked production serving tier: N worker processes, one socket.
+
+Python's GIL caps a :class:`~repro.serve.app.PatternServer` at roughly one
+core; the production tier forks instead.  The supervisor binds the
+listening socket, builds **one** :class:`~repro.serve.app.PatternApp` and
+warms its caches — including the store's mmap'd binary run matrices
+(:mod:`repro.store.binfmt`) — then forks ``workers`` processes that
+inherit the listening fd and the warm pages copy-on-write.  Each worker
+accepts on the shared socket (the kernel load-balances accepts), feeds a
+**bounded** request queue drained by a small handler-thread pool, and
+answers a raw ``503`` the instant the queue is full: backpressure by
+design, not by timeout.
+
+Supervision: the parent reaps children; an unexpected exit is logged,
+counted (``repro_prefork_worker_restarts_total``), and answered with a
+fresh fork, so a crashed worker costs one in-flight request, not the
+deployment.  ``SIGTERM``/``SIGINT`` drain gracefully — workers stop
+accepting, finish what's queued, and exit; stragglers past the grace
+deadline are killed.
+
+Observability: every process keeps its *own* metrics registry (reset at
+worker start) and spools snapshots through
+:class:`~repro.serve.metrics.MetricsSpool`, so ``GET /metrics`` served by
+any worker renders the whole fleet with a ``worker="<i>"`` label per
+series (the supervisor contributes restart counts as
+``worker="supervisor"``).
+
+``repro serve --workers N --queue-depth M`` is the CLI front door;
+:class:`WorkerServer` is also usable in-process (no fork) for
+deterministic backpressure tests.
+"""
+
+from __future__ import annotations
+
+import os
+import queue
+import shutil
+import signal
+import socket
+import tempfile
+import threading
+import time
+
+from repro.obs import metrics
+from repro.obs.logs import get_logger
+from repro.serve.app import PatternApp, _Handler
+from repro.serve.metrics import MetricsSpool
+from repro.store.store import PatternStore
+
+__all__ = ["PreforkServer", "WorkerServer"]
+
+_LOG = get_logger("serve.prefork")
+
+#: Accept timeout: how often workers re-check the drain flag (and the
+#: supervisor's poll period for reaping children).
+_ACCEPT_TIMEOUT = 0.5
+
+#: The supervisor's id in the metrics spool.
+_SUPERVISOR = "supervisor"
+
+_CONNECTIONS = metrics.counter(
+    "repro_prefork_connections_total", "Connections accepted by this worker"
+)
+_REJECTED = metrics.counter(
+    "repro_prefork_rejected_total",
+    "Connections answered 503 because the worker's request queue was full",
+)
+_QUEUE_DEPTH = metrics.gauge(
+    "repro_prefork_queue_depth",
+    "Requests waiting in this worker's bounded queue",
+)
+_RESTARTS = metrics.counter(
+    "repro_prefork_worker_restarts_total",
+    "Workers respawned by the supervisor after an unexpected exit",
+)
+_WORKERS = metrics.gauge(
+    "repro_prefork_workers", "Worker processes the supervisor maintains"
+)
+
+_REJECT_BODY = b'{"error": "server overloaded: request queue is full"}\n'
+_REJECT_RESPONSE = (
+    b"HTTP/1.1 503 Service Unavailable\r\n"
+    b"Content-Type: application/json\r\n"
+    + f"Content-Length: {len(_REJECT_BODY)}\r\n".encode()
+    + b"Retry-After: 1\r\n"
+    b"Connection: close\r\n"
+    b"\r\n" + _REJECT_BODY
+)
+
+
+class WorkerServer:
+    """One worker: accept loop → bounded queue → handler-thread pool.
+
+    Reuses the exact :class:`~repro.serve.app._Handler` of the threaded
+    server (this object stands in as its ``server``: it carries ``app``
+    and ``render_metrics``).  ``queue_depth`` bounds the accepted-but-
+    unhandled backlog — an accept that finds the queue full is answered
+    with a canned ``503`` and closed immediately, so overload degrades
+    into fast rejections instead of unbounded memory and latency.
+    """
+
+    #: Matches ThreadingHTTPServer's contract; _Handler never reads it,
+    #: but symmetry keeps the stand-in honest.
+    daemon_threads = True
+
+    def __init__(
+        self,
+        sock: socket.socket,
+        app: PatternApp,
+        queue_depth: int = 64,
+        threads: int = 8,
+        worker_id: str = "0",
+        spool: MetricsSpool | None = None,
+        conn_timeout: float = 30.0,
+    ) -> None:
+        if queue_depth < 1:
+            raise ValueError(f"queue_depth must be >= 1, got {queue_depth}")
+        if threads < 1:
+            raise ValueError(f"threads must be >= 1, got {threads}")
+        if sock.gettimeout() is None:
+            # The prefork parent sets this before forking; in-process users
+            # need it too or drain() could wait on accept() forever.
+            sock.settimeout(_ACCEPT_TIMEOUT)
+        self.socket = sock
+        self.app = app
+        self.queue: queue.Queue = queue.Queue(maxsize=queue_depth)
+        self.worker_id = str(worker_id)
+        self.spool = spool
+        self.conn_timeout = conn_timeout
+        self._n_threads = threads
+        self._threads: list[threading.Thread] = []
+        self._draining = threading.Event()
+
+    # ------------------------------------------------------------------
+    # The _Handler server interface
+    # ------------------------------------------------------------------
+
+    def render_metrics(self) -> str:
+        """``GET /metrics``: the whole fleet via the spool, or just us."""
+        if self.spool is None:
+            return metrics.REGISTRY.render()
+        return self.spool.render_merged(self.worker_id)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def drain(self) -> None:
+        """Stop accepting; finish queued work, then let serve_forever return."""
+        self._draining.set()
+
+    def serve_forever(self) -> None:
+        """Accept until drained (blocking; the worker process's main loop)."""
+        for index in range(self._n_threads):
+            thread = threading.Thread(
+                target=self._handler_loop,
+                name=f"repro-worker-{self.worker_id}-h{index}",
+                daemon=True,
+            )
+            thread.start()
+            self._threads.append(thread)
+        if self.spool is not None:
+            # Publish this worker's (zeroed) series immediately: a scrape
+            # right after startup already shows every worker.
+            self.spool.flush(self.worker_id)
+        try:
+            while not self._draining.is_set():
+                try:
+                    conn, addr = self.socket.accept()
+                except TimeoutError:
+                    continue
+                except OSError:
+                    break  # listener closed under us: treat as drain
+                _CONNECTIONS.inc()
+                try:
+                    self.queue.put_nowait((conn, addr))
+                except queue.Full:
+                    self._reject(conn)
+                else:
+                    _QUEUE_DEPTH.set(self.queue.qsize())
+        finally:
+            # Sentinels queue *behind* any pending connections, so queued
+            # requests are finished before the handler threads exit.
+            for _ in self._threads:
+                self.queue.put(None)
+            for thread in self._threads:
+                thread.join(timeout=self.conn_timeout)
+            if self.spool is not None:
+                self.spool.flush(self.worker_id)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _reject(self, conn: socket.socket) -> None:
+        _REJECTED.inc()
+        try:
+            conn.sendall(_REJECT_RESPONSE)
+        except OSError:
+            pass  # the client gave up first; the rejection stands
+        finally:
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover - double close is fine
+                pass
+
+    def _handler_loop(self) -> None:
+        while True:
+            item = self.queue.get()
+            if item is None:
+                return
+            conn, addr = item
+            try:
+                conn.settimeout(self.conn_timeout)
+                _Handler(conn, addr, self)
+            except Exception:
+                _LOG.exception("handler crashed on a connection from %s", addr)
+            finally:
+                try:
+                    conn.close()
+                except OSError:
+                    pass
+                if self.spool is not None:
+                    self.spool.maybe_flush(self.worker_id)
+
+
+class PreforkServer:
+    """Supervisor for a fleet of forked :class:`WorkerServer` processes.
+
+    Construction binds the socket (``port=0`` for ephemeral; read
+    :attr:`url` back).  :meth:`serve_forever` warms the shared
+    :class:`PatternApp`, forks the workers, and supervises until SIGTERM/
+    SIGINT, returning after a graceful drain — the ``repro serve
+    --workers N`` path.  POSIX only (``os.fork``).
+    """
+
+    def __init__(
+        self,
+        store: PatternStore,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        workers: int = 2,
+        queue_depth: int = 64,
+        threads: int = 8,
+        cache_size: int = 256,
+        allow_mine: bool = True,
+        warm: bool = True,
+        grace: float = 10.0,
+    ) -> None:
+        if not hasattr(os, "fork"):
+            raise RuntimeError(
+                "pre-forked serving needs os.fork (POSIX); "
+                "use PatternServer on this platform"
+            )
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.store = store
+        self.workers = workers
+        self.queue_depth = queue_depth
+        self.threads = threads
+        self.grace = grace
+        self._warm = warm
+        self.app = PatternApp(store, cache_size=cache_size, allow_mine=allow_mine)
+        self._socket = socket.create_server((host, port), backlog=128)
+        self._socket.settimeout(_ACCEPT_TIMEOUT)
+        self._pids: dict[int, int] = {}  # pid -> worker index
+        self._spool: MetricsSpool | None = None
+        self._stop = False
+        self._started = False
+
+    @property
+    def host(self) -> str:
+        return self._socket.getsockname()[0]
+
+    @property
+    def port(self) -> int:
+        return self._socket.getsockname()[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def stop(self) -> None:
+        """Ask the supervision loop to drain and return (signal-safe)."""
+        self._stop = True
+
+    # ------------------------------------------------------------------
+    # Supervision
+    # ------------------------------------------------------------------
+
+    def serve_forever(self) -> None:
+        """Warm, fork, and supervise until stopped; drains before returning."""
+        if self._started:
+            raise RuntimeError("server already started")
+        self._started = True
+        warmed = self.app.warm() if self._warm else 0
+        self._spool = MetricsSpool(tempfile.mkdtemp(prefix="repro-serve-spool-"))
+        _WORKERS.set(self.workers)
+        _RESTARTS.inc(0)  # the series exists (at 0) before any crash
+        self._spool.flush(_SUPERVISOR)
+        _LOG.info(
+            "prefork supervisor up",
+            extra={
+                "pid": os.getpid(), "url": self.url, "workers": self.workers,
+                "queue_depth": self.queue_depth, "warmed_runs": warmed,
+            },
+        )
+        previous = {
+            signum: signal.signal(signum, self._handle_stop)
+            for signum in (signal.SIGTERM, signal.SIGINT)
+        }
+        try:
+            for index in range(self.workers):
+                self._spawn(index)
+            while not self._stop:
+                try:
+                    pid, status = os.waitpid(-1, os.WNOHANG)
+                except ChildProcessError:  # pragma: no cover - all gone
+                    break
+                if pid == 0:
+                    time.sleep(0.05)
+                    continue
+                index = self._pids.pop(pid, None)
+                if index is None or self._stop:
+                    continue
+                _RESTARTS.inc()
+                _LOG.warning(
+                    "worker died; respawning",
+                    extra={"worker": index, "died_pid": pid, "status": status},
+                )
+                self._spool.flush(_SUPERVISOR)
+                self._spawn(index)
+        finally:
+            self._shutdown(previous)
+
+    def _handle_stop(self, signum: int, frame: object) -> None:
+        self._stop = True
+
+    def _spawn(self, index: int) -> None:
+        pid = os.fork()
+        if pid == 0:
+            code = 0
+            try:
+                self._worker_main(index)
+            except BaseException:
+                _LOG.exception("worker crashed", extra={"worker": index})
+                code = 1
+            finally:
+                # Never return into the supervisor's (or the CLI's) stack.
+                os._exit(code)
+        self._pids[pid] = index
+
+    def _worker_main(self, index: int) -> None:
+        # Ctrl-C goes to the whole foreground process group; workers ignore
+        # it and drain on the SIGTERM the supervisor sends instead.
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+        # Fresh per-worker series: the registry structure is inherited from
+        # the fork, the counts must not be (they'd double-report the warm).
+        metrics.REGISTRY.reset()
+        worker = WorkerServer(
+            self._socket,
+            self.app,
+            queue_depth=self.queue_depth,
+            threads=self.threads,
+            worker_id=str(index),
+            spool=self._spool,
+        )
+        signal.signal(signal.SIGTERM, lambda signum, frame: worker.drain())
+        worker.serve_forever()
+
+    def _shutdown(self, previous: dict[int, object]) -> None:
+        for pid in list(self._pids):
+            try:
+                os.kill(pid, signal.SIGTERM)
+            except ProcessLookupError:
+                self._pids.pop(pid, None)
+        deadline = time.monotonic() + self.grace
+        while self._pids and time.monotonic() < deadline:
+            try:
+                pid, _status = os.waitpid(-1, os.WNOHANG)
+            except ChildProcessError:  # pragma: no cover - reaped elsewhere
+                self._pids.clear()
+                break
+            if pid:
+                self._pids.pop(pid, None)
+            else:
+                time.sleep(0.05)
+        for pid in list(self._pids):  # pragma: no cover - needs a hung worker
+            _LOG.warning(
+                "worker missed the drain deadline; killing",
+                extra={"killed_pid": pid, "grace_seconds": self.grace},
+            )
+            try:
+                os.kill(pid, signal.SIGKILL)
+                os.waitpid(pid, 0)
+            except (ProcessLookupError, ChildProcessError):
+                pass
+        self._pids.clear()
+        self._socket.close()
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)  # type: ignore[arg-type]
+        if self._spool is not None:
+            shutil.rmtree(self._spool.root, ignore_errors=True)

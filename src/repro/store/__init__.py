@@ -3,8 +3,10 @@
 The subsystem that turns ephemeral ``MiningResult``s into reusable
 artifacts (see the package README's "Pattern store & serving" section):
 
-* :mod:`repro.store.format` — the versioned on-disk run format and the
-  content-hashed run ids.
+* :mod:`repro.store.format` — the versioned on-disk run format (v1 text)
+  and the content-hashed run ids.
+* :mod:`repro.store.binfmt` — the binary run format: checksummed packed
+  tidset words, memory-mapped into a zero-copy kernel matrix on load.
 * :mod:`repro.store.store` — :class:`PatternStore`: save/load/list/delete
   runs bit-identically, plus persisted drift-report streams.
 * :mod:`repro.store.index` — :class:`InvertedItemIndex`, item → pattern
@@ -16,6 +18,14 @@ artifacts (see the package README's "Pattern store & serving" section):
   serving layer reuses.
 """
 
+from repro.store.binfmt import (
+    BIN_MAGIC,
+    BIN_VERSION,
+    BinaryFormatError,
+    BinaryRun,
+    read_binary_run,
+    write_binary_run,
+)
 from repro.store.cache import CachedMine, LRUCache, mine_cached
 from repro.store.format import (
     FORMAT_VERSION,
@@ -40,6 +50,12 @@ __all__ = [
     "mine_cached",
     "CachedMine",
     "LRUCache",
+    "BIN_MAGIC",
+    "BIN_VERSION",
+    "BinaryFormatError",
+    "BinaryRun",
+    "read_binary_run",
+    "write_binary_run",
     "FORMAT_VERSION",
     "encode_patterns",
     "decode_patterns",

@@ -147,6 +147,15 @@ class LRUCache:
             while len(self._entries) > self.capacity:
                 self._entries.popitem(last=False)
 
+    def invalidate(self, key: Hashable) -> bool:
+        """Drop one entry; True when it was present.
+
+        The serving layer calls this when a cached run turns out to have
+        been deleted on disk — the entry must not shadow the 404.
+        """
+        with self._lock:
+            return self._entries.pop(key, _MISSING) is not _MISSING
+
     def clear(self) -> None:
         with self._lock:
             self._entries.clear()

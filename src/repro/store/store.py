@@ -4,7 +4,8 @@ Layout (everything human-inspectable)::
 
     <root>/store.json                 # format marker
     <root>/runs/<run_id>/meta.json    # metadata document (no patterns)
-    <root>/runs/<run_id>/patterns.txt # payload: one pattern per line
+    <root>/runs/<run_id>/patterns.txt # v1 payload: one pattern per line
+    <root>/runs/<run_id>/patterns.bin # binary payload (mmap-able words)
     <root>/streams/<name>.jsonl       # appended DriftReport slides
 
 Run ids are content hashes (:func:`repro.store.format.content_run_id`), so
@@ -12,6 +13,14 @@ the store is append-only and idempotent: saving the same run twice is a
 no-op returning the same id, and nothing in a run directory is ever
 rewritten.  Writes go through a temp-file + rename so a crashed save leaves
 no half-written run visible.
+
+Every save writes both payloads; :meth:`PatternStore.load` prefers the
+binary one (:mod:`repro.store.binfmt` — checksummed, memory-mapped, zero
+copies of the word region) and falls back to the v1 text for runs written
+by older versions, which :meth:`PatternStore.migrate` converts in place
+without changing their content-hashed ids.  :meth:`PatternStore.open_matrix`
+is the serving tier's cold-open path: the pool as a mapped
+:class:`~repro.kernels.TidsetMatrix` without materialising any big-int.
 """
 
 from __future__ import annotations
@@ -28,6 +37,12 @@ from repro.db.stats import dataset_fingerprint
 from repro.db.transaction_db import TransactionDatabase
 from repro.mining.results import MiningResult, Pattern
 from repro.obs import metrics, trace
+from repro.store.binfmt import (
+    BIN_VERSION,
+    BinaryRun,
+    read_binary_run,
+    write_binary_run,
+)
 from repro.store.format import (
     FORMAT_VERSION,
     cache_key,
@@ -46,7 +61,13 @@ _SAVES = metrics.counter(
     "Run saves by outcome (written vs content-addressed dedup no-op)",
     ("outcome",),
 )
-_LOADS = metrics.counter("repro_store_loads_total", "Complete run loads")
+_LOADS = metrics.counter(
+    "repro_store_loads_total", "Complete run loads by payload format",
+    ("format",),
+)
+_MIGRATIONS = metrics.counter(
+    "repro_store_migrations_total", "v1 runs converted to the binary format"
+)
 _SAVE_SECONDS = metrics.histogram(
     "repro_store_save_seconds", "PatternStore.save latency"
 )
@@ -172,6 +193,7 @@ class PatternStore:
             }
             run_dir.mkdir(parents=True, exist_ok=True)
             _atomic_write_text(run_dir / "patterns.txt", payload)
+            write_binary_run(run_dir / "patterns.bin", meta, result.patterns)
             # meta.json lands last: its presence marks the run complete.
             _atomic_write_text(
                 run_dir / "meta.json", json.dumps(meta, indent=2) + "\n"
@@ -219,13 +241,28 @@ class PatternStore:
         for run_id in self.run_ids():
             yield self.meta(run_id)
 
-    def load(self, run_id: str) -> StoredRun:
-        """Load a run completely; the result is bit-identical to the save."""
+    def load(self, run_id: str, format: str = "auto") -> StoredRun:
+        """Load a run completely; the result is bit-identical to the save.
+
+        ``format`` picks the payload: ``"auto"`` (default) prefers the
+        binary file and falls back to the v1 text, ``"binary"`` / ``"v1"``
+        force one (the benchmarks compare the two cold-load paths).  Both
+        reconstruct the identical pool — items, tidsets, and order.
+        """
+        if format not in ("auto", "binary", "v1"):
+            raise ValueError(f"format must be auto|binary|v1, got {format!r}")
+        bin_path = self._runs_dir / run_id / "patterns.bin"
+        use_binary = format == "binary" or (format == "auto" and bin_path.exists())
         with trace.span("store_load", run_id=run_id), _LOAD_SECONDS.time():
             meta = self.meta(run_id)
-            payload = (self._runs_dir / run_id / "patterns.txt").read_text()
-            patterns = decode_patterns(payload)
-        _LOADS.inc()
+            if use_binary:
+                # A full decode reads every word anyway, so pay the word
+                # CRC here; only the mmap open (open_matrix) defers it.
+                patterns = read_binary_run(bin_path, verify_words=True).patterns()
+            else:
+                payload = (self._runs_dir / run_id / "patterns.txt").read_text()
+                patterns = decode_patterns(payload)
+        _LOADS.inc(format="binary" if use_binary else "v1")
         if meta.get("n_patterns") != len(patterns):
             raise ValueError(
                 f"run {run_id}: meta declares {meta.get('n_patterns')} patterns "
@@ -239,15 +276,93 @@ class PatternStore:
         )
         return StoredRun(run_id=run_id, meta=meta, result=result)
 
+    def open_matrix(self, run_id: str, backend: str | None = None) -> BinaryRun:
+        """Map a run's binary payload: the zero-copy serving cold-open path.
+
+        Returns a :class:`~repro.store.binfmt.BinaryRun` whose matrix rows
+        are the pool's tidsets straight off the file mapping — no big-int
+        materialised, no JSON parsed.  Runs written before the binary
+        format need :meth:`migrate` first (the error says so).
+        """
+        path = self._runs_dir / run_id / "patterns.bin"
+        if not path.exists():
+            if run_id not in self:
+                raise KeyError(f"no run {run_id!r} in store {self.root}")
+            raise FileNotFoundError(
+                f"run {run_id} has no binary payload; convert it with "
+                f"`repro store migrate --store {self.root}`"
+            )
+        return read_binary_run(path, backend=backend)
+
+    def migrate(self, run_id: str | None = None) -> list[str]:
+        """Convert v1-only runs to the binary format in place; idempotent.
+
+        Re-encodes each migrated payload and recomputes its content hash
+        first — a mismatch means the v1 file is corrupt, and the run is
+        refused rather than laundered into a checksummed format.  Returns
+        the ids actually converted (already-binary runs are skipped), so a
+        second call returns ``[]``.  Run ids never change: they hash the
+        v1 encoding, which stays on disk untouched.
+        """
+        targets = [run_id] if run_id is not None else self.run_ids()
+        migrated: list[str] = []
+        for target in targets:
+            run_dir = self._runs_dir / target
+            if not (run_dir / "meta.json").exists():
+                raise KeyError(f"no run {target!r} in store {self.root}")
+            if (run_dir / "patterns.bin").exists():
+                continue
+            run = self.load(target, format="v1")
+            recomputed = content_run_id(
+                encode_patterns(run.patterns),
+                run.meta.get("miner"),
+                run.meta["algorithm"],
+                run.meta["minsup"],
+                run.meta.get("config"),
+                run.fingerprint,
+            )
+            if recomputed != target:
+                raise ValueError(
+                    f"run {target}: v1 payload re-hashes to {recomputed}; "
+                    "refusing to migrate a corrupt run"
+                )
+            write_binary_run(run_dir / "patterns.bin", run.meta, run.patterns)
+            _MIGRATIONS.inc()
+            migrated.append(target)
+        return migrated
+
+    def run_info(self, run_id: str) -> dict[str, Any]:
+        """One run's storage facts: payload format, version, on-disk bytes."""
+        meta = self.meta(run_id)
+        run_dir = self._runs_dir / run_id
+        files = {
+            name: (run_dir / name).stat().st_size
+            for name in ("meta.json", "patterns.txt", "patterns.bin")
+            if (run_dir / name).exists()
+        }
+        binary = "patterns.bin" in files
+        return {
+            "run_id": run_id,
+            "miner": meta.get("miner"),
+            "algorithm": meta.get("algorithm"),
+            "minsup": meta.get("minsup"),
+            "n_patterns": meta.get("n_patterns"),
+            "format": "binary" if binary else "v1",
+            "format_version": BIN_VERSION if binary else FORMAT_VERSION,
+            "files": files,
+            "bytes": sum(files.values()),
+        }
+
     def delete(self, run_id: str) -> None:
         """Remove a run (meta first, so a partial delete is still invisible)."""
         run_dir = self._runs_dir / run_id
         if not (run_dir / "meta.json").exists():
             raise KeyError(f"no run {run_id!r} in store {self.root}")
         (run_dir / "meta.json").unlink()
-        payload = run_dir / "patterns.txt"
-        if payload.exists():
-            payload.unlink()
+        for name in ("patterns.txt", "patterns.bin"):
+            payload = run_dir / name
+            if payload.exists():
+                payload.unlink()
         try:
             run_dir.rmdir()
         except OSError:  # pragma: no cover - leftover foreign files

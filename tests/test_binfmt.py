@@ -1,0 +1,252 @@
+"""The binary run format: round-trips, rejection, and zero-copy claims.
+
+Three protections under test, per the format's design:
+
+* **Bit identity** — a binary reload (both backends, mapped or copied)
+  reproduces the saved pool exactly: items, tidsets, order, metadata.
+* **Rejection, never misreading** — truncation, bit flips in any region,
+  a wrong magic, or a newer format version raise
+  :class:`BinaryFormatError` naming what failed.
+* **Zero copies** — under the NumPy backend the matrix words are a
+  read-only view straight into the file mapping.
+
+Plus the store-level contract: ``save`` writes both payloads, ``load``
+prefers binary and agrees with v1, ``migrate`` is idempotent and never
+changes a run id.
+"""
+
+import struct
+import zlib
+
+import pytest
+
+from repro.kernels import available_backends
+from repro.mining.results import MiningResult, Pattern
+from repro.store import (
+    BIN_MAGIC,
+    BinaryFormatError,
+    PatternStore,
+    read_binary_run,
+    write_binary_run,
+)
+
+BACKENDS = list(available_backends())
+
+
+def bits(patterns):
+    return [(p.items, p.tidset) for p in patterns]
+
+
+@pytest.fixture
+def pool():
+    """A small pool with adversarial shapes: huge tidsets, empty itemset bits."""
+    return [
+        Pattern(items=frozenset({1, 2, 3}), tidset=0b1011),
+        Pattern(items=frozenset({7}), tidset=(1 << 200) | 5),
+        Pattern(items=frozenset({2, 9, 40}), tidset=(1 << 128) - 1),
+        Pattern(items=frozenset({0}), tidset=1),
+    ]
+
+
+@pytest.fixture
+def bin_file(tmp_path, pool):
+    path = tmp_path / "patterns.bin"
+    meta = {"algorithm": "test", "minsup": 2, "n_patterns": len(pool)}
+    write_binary_run(path, meta, pool)
+    return path
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("mmap_words", [True, False])
+    def test_bit_identical(self, bin_file, pool, backend, mmap_words):
+        run = read_binary_run(bin_file, backend=backend, mmap_words=mmap_words)
+        assert bits(run.patterns()) == bits(pool)
+        assert run.meta["minsup"] == 2
+        assert run.n_patterns == len(pool)
+        assert run.n_bits == 201  # the 1 << 200 tidset sets the geometry
+
+    def test_to_result(self, bin_file, pool):
+        result = read_binary_run(bin_file).to_result()
+        assert isinstance(result, MiningResult)
+        assert result.algorithm == "test"
+        assert result.minsup == 2
+        assert bits(result.patterns) == bits(pool)
+
+    def test_empty_pool(self, tmp_path):
+        path = tmp_path / "empty.bin"
+        write_binary_run(path, {"algorithm": "x", "minsup": 1}, [])
+        run = read_binary_run(path)
+        assert len(run) == 0
+        assert run.patterns() == []
+
+    def test_itemset_too_wide_refused(self, tmp_path):
+        bad = [Pattern(items=frozenset({1 << 64}), tidset=1)]
+        with pytest.raises(ValueError, match="u64"):
+            write_binary_run(tmp_path / "bad.bin", {}, bad)
+
+    def test_negative_tidset_refused(self, tmp_path):
+        bad = [Pattern(items=frozenset({1}), tidset=-1)]
+        with pytest.raises(ValueError, match="non-negative"):
+            write_binary_run(tmp_path / "bad.bin", {}, bad)
+
+    def test_deferred_words_verify_passes_on_clean_file(self, bin_file):
+        read_binary_run(bin_file).verify_words()  # must not raise
+
+
+@pytest.mark.skipif("numpy" not in BACKENDS, reason="needs the NumPy backend")
+class TestZeroCopy:
+    def test_mapped_words_are_a_readonly_view(self, bin_file):
+        run = read_binary_run(bin_file, backend="numpy")
+        words = run.matrix._words
+        assert not words.flags.owndata  # a view into the mapping, not a copy
+        assert not words.flags.writeable
+
+    def test_unmapped_read_is_independent(self, bin_file, pool):
+        run = read_binary_run(bin_file, backend="numpy", mmap_words=False)
+        bin_file.unlink()  # the copy must outlive the file
+        assert bits(run.patterns()) == bits(pool)
+
+
+class TestRejection:
+    def test_truncated_header(self, tmp_path):
+        path = tmp_path / "short.bin"
+        path.write_bytes(b"REPROBIN\x01")
+        with pytest.raises(BinaryFormatError, match="truncated"):
+            read_binary_run(path)
+
+    def test_truncated_words(self, bin_file):
+        data = bin_file.read_bytes()
+        bin_file.write_bytes(data[:-8])
+        with pytest.raises(BinaryFormatError, match="truncated"):
+            read_binary_run(bin_file)
+
+    def test_trailing_garbage(self, bin_file):
+        bin_file.write_bytes(bin_file.read_bytes() + b"extra")
+        with pytest.raises(BinaryFormatError, match="trailing"):
+            read_binary_run(bin_file)
+
+    def test_bad_magic(self, bin_file):
+        data = bytearray(bin_file.read_bytes())
+        data[:8] = b"NOTABINF"
+        bin_file.write_bytes(bytes(data))
+        with pytest.raises(BinaryFormatError, match="magic"):
+            read_binary_run(bin_file)
+
+    def test_newer_version_refused(self, bin_file):
+        data = bytearray(bin_file.read_bytes())
+        # Bump the version field and re-seal the header CRC: the refusal
+        # must come from the version check, not checksum noise.
+        struct.pack_into("<I", data, 8, 99)
+        struct.pack_into("<I", data, 96, zlib.crc32(bytes(data[:96])))
+        bin_file.write_bytes(bytes(data))
+        with pytest.raises(BinaryFormatError, match="newer"):
+            read_binary_run(bin_file)
+
+    def test_flipped_header_bit(self, bin_file):
+        data = bytearray(bin_file.read_bytes())
+        data[16] ^= 0x01  # inside n_patterns
+        bin_file.write_bytes(bytes(data))
+        with pytest.raises(BinaryFormatError, match="header checksum"):
+            read_binary_run(bin_file)
+
+    def test_flipped_meta_bit(self, bin_file):
+        data = bytearray(bin_file.read_bytes())
+        data[110] ^= 0x40  # inside the meta JSON block
+        bin_file.write_bytes(bytes(data))
+        with pytest.raises(BinaryFormatError, match="meta/table checksum"):
+            read_binary_run(bin_file)
+
+    def test_flipped_word_bit_caught_on_full_verify(self, bin_file):
+        data = bytearray(bin_file.read_bytes())
+        data[-1] ^= 0x80  # inside the word region
+        bin_file.write_bytes(bytes(data))
+        with pytest.raises(BinaryFormatError, match="word region checksum"):
+            read_binary_run(bin_file, verify_words=True)
+        # The zero-copy open defers the words sweep; the deferred check
+        # still catches it on demand.
+        run = read_binary_run(bin_file)
+        with pytest.raises(BinaryFormatError, match="word region checksum"):
+            run.verify_words()
+
+    def test_verify_false_skips_checks(self, bin_file):
+        data = bytearray(bin_file.read_bytes())
+        data[110] ^= 0x40
+        bin_file.write_bytes(bytes(data))
+        with pytest.raises(BinaryFormatError):
+            read_binary_run(bin_file)
+        read_binary_run(bin_file, verify=False)  # forensic opt-out
+
+
+class TestStoreIntegration:
+    @pytest.fixture
+    def saved(self, tmp_path, pool):
+        store = PatternStore(tmp_path / "store")
+        result = MiningResult(algorithm="test", minsup=2, patterns=pool)
+        run_id = store.save(result, miner="test-miner")
+        return store, run_id
+
+    def test_save_writes_both_payloads(self, saved):
+        store, run_id = saved
+        run_dir = store.root / "runs" / run_id
+        assert (run_dir / "patterns.txt").exists()
+        assert (run_dir / "patterns.bin").exists()
+
+    def test_binary_and_v1_loads_agree(self, saved):
+        store, run_id = saved
+        v1 = store.load(run_id, format="v1")
+        binary = store.load(run_id, format="binary")
+        auto = store.load(run_id)
+        assert bits(v1.patterns) == bits(binary.patterns) == bits(auto.patterns)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_open_matrix_rows_match_pool(self, saved, pool, backend):
+        store, run_id = saved
+        run = store.open_matrix(run_id, backend=backend)
+        assert [run.matrix.row(i) for i in range(len(pool))] == (
+            [p.tidset for p in pool]
+        )
+
+    def test_open_matrix_unknown_run(self, saved):
+        store, _ = saved
+        with pytest.raises(KeyError, match="no run"):
+            store.open_matrix("feedc0de")
+
+    def test_open_matrix_unmigrated_run_says_migrate(self, saved):
+        store, run_id = saved
+        (store.root / "runs" / run_id / "patterns.bin").unlink()
+        with pytest.raises(FileNotFoundError, match="store migrate"):
+            store.open_matrix(run_id)
+
+    def test_migrate_round_trip_and_idempotence(self, saved):
+        store, run_id = saved
+        bin_path = store.root / "runs" / run_id / "patterns.bin"
+        original = bin_path.read_bytes()
+        bin_path.unlink()
+        assert store.migrate() == [run_id]
+        assert bin_path.read_bytes() == original  # deterministic encoding
+        assert store.migrate() == []  # nothing left: already binary
+
+    def test_migrate_refuses_corrupt_v1(self, saved):
+        store, run_id = saved
+        run_dir = store.root / "runs" / run_id
+        (run_dir / "patterns.bin").unlink()
+        payload = (run_dir / "patterns.txt").read_text()
+        (run_dir / "patterns.txt").write_text(payload.replace("b", "a", 1))
+        with pytest.raises(ValueError, match="refusing to migrate"):
+            store.migrate()
+
+    def test_delete_removes_binary_payload(self, saved):
+        store, run_id = saved
+        run_dir = store.root / "runs" / run_id
+        store.delete(run_id)
+        assert not (run_dir / "patterns.bin").exists()
+        assert not (run_dir / "patterns.txt").exists()
+
+    def test_run_info(self, saved):
+        store, run_id = saved
+        info = store.run_info(run_id)
+        assert info["format"] == "binary"
+        assert info["format_version"] == 1
+        assert info["n_patterns"] == 4
+        assert info["bytes"] == sum(info["files"].values())

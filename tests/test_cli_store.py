@@ -131,6 +131,55 @@ class TestStoreCommands:
         assert code == 2
         assert "together" in capsys.readouterr().err
 
+    def test_ls_json_reports_format_and_bytes(self, populated, capsys):
+        store_dir, run_id = populated
+        assert main(["store", "ls", "--store", str(store_dir), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        (record,) = payload["runs"]
+        assert record["run_id"] == run_id
+        assert record["format"] == "binary"
+        assert record["format_version"] == 1
+        assert record["files"]["patterns.bin"] > 0
+        assert record["bytes"] == sum(record["files"].values())
+
+    def test_ls_json_v1_only_run(self, populated, capsys):
+        store_dir, run_id = populated
+        (PatternStore(store_dir).root / "runs" / run_id / "patterns.bin").unlink()
+        main(["store", "ls", "--store", str(store_dir), "--json"])
+        (record,) = json.loads(capsys.readouterr().out)["runs"]
+        assert record["format"] == "v1"
+        assert "patterns.bin" not in record["files"]
+
+    def test_migrate_is_idempotent_and_keeps_run_id(self, populated, capsys):
+        store_dir, run_id = populated
+        bin_path = PatternStore(store_dir).root / "runs" / run_id / "patterns.bin"
+        before = bin_path.read_bytes()
+        bin_path.unlink()
+        assert main(["store", "migrate", "--store", str(store_dir)]) == 0
+        out = capsys.readouterr().out
+        assert f"migrated run {run_id}" in out
+        assert "1 migrated" in out
+        assert "run ids unchanged" in out
+        assert bin_path.read_bytes() == before
+        # Second run: nothing left to do, same run id, nothing rewritten.
+        assert main(["store", "migrate", "--store", str(store_dir)]) == 0
+        assert "0 migrated" in capsys.readouterr().out
+        stored = PatternStore(store_dir).load(run_id)
+        assert stored.run_id == run_id
+
+    def test_migrate_single_run_and_unknown_run(self, populated, capsys):
+        store_dir, run_id = populated
+        bin_path = PatternStore(store_dir).root / "runs" / run_id / "patterns.bin"
+        bin_path.unlink()
+        code = main(["store", "migrate", "--store", str(store_dir),
+                     "--run", run_id])
+        assert code == 0
+        assert bin_path.exists()
+        code = main(["store", "migrate", "--store", str(store_dir),
+                     "--run", "feedc0de"])
+        assert code == 2
+        assert "no run" in capsys.readouterr().err
+
     def test_unknown_run_exits_2(self, populated, capsys):
         store_dir, _ = populated
         code = main(["store", "show", "feedc0de", "--store", str(store_dir)])
@@ -181,3 +230,15 @@ class TestServeParser:
         assert args.port == 8753
         assert args.cache_size == 256
         assert not args.no_mine
+        assert args.workers == 0  # threaded single process by default
+        assert args.queue_depth == 64
+        assert args.threads == 8
+
+    def test_prefork_knobs_parse(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["serve", "--store", "runs/", "--workers", "4",
+             "--queue-depth", "16", "--threads", "2"]
+        )
+        assert (args.workers, args.queue_depth, args.threads) == (4, 16, 2)

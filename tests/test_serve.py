@@ -167,6 +167,40 @@ class TestErrors:
         code, _ = error_of(lambda: urllib.request.urlopen(request, timeout=10))
         assert code == 400
 
+    def test_deleted_run_under_warm_cache_404_not_500(self, tmp_path):
+        """A cached run deleted on disk answers 404 and drops the entry."""
+        store = PatternStore(tmp_path / "store")
+        outcome = mine_cached(
+            store, "pattern_fusion", diag_plus(),
+            minsup=20, k=10, initial_pool_max_size=2, seed=0,
+        )
+        with PatternServer(store, port=0) as server:
+            detail_url = f"{server.url}/runs/{outcome.run_id}"
+            assert get(detail_url)["run_id"] == outcome.run_id  # cache warmed
+            store.delete(outcome.run_id)
+            code, message = error_of(lambda: get(detail_url))
+            assert code == 404 and "deleted" in message
+            # The stale entry is gone, not shadowing future answers.
+            assert outcome.run_id not in server.run_cache
+            code, _ = error_of(lambda: get(detail_url))
+            assert code == 404
+
+    def test_partially_deleted_run_404_not_500(self, tmp_path):
+        """meta.json present but both payload files gone: still a 404."""
+        store = PatternStore(tmp_path / "store")
+        outcome = mine_cached(
+            store, "pattern_fusion", diag_plus(),
+            minsup=20, k=10, initial_pool_max_size=2, seed=0,
+        )
+        run_dir = store.root / "runs" / outcome.run_id
+        (run_dir / "patterns.txt").unlink()
+        (run_dir / "patterns.bin").unlink()
+        with PatternServer(store, port=0) as server:
+            code, message = error_of(
+                lambda: get(f"{server.url}/runs/{outcome.run_id}")
+            )
+            assert code == 404 and "missing its payload" in message
+
     def test_mine_disabled_403(self, tmp_path):
         store = PatternStore(tmp_path / "store")
         with PatternServer(store, port=0, allow_mine=False) as server:
