@@ -1,0 +1,124 @@
+"""Continuous profiling, worked end to end: from fusion run to flamegraph.
+
+The story this example tells:
+
+1. run Pattern-Fusion at Replace-sim scale with tracing enabled and the
+   sampling profiler running alongside, so every wall-clock sample is
+   attributed to the engine phase (span) that owned the thread;
+2. print the per-phase sample table — where the fused rounds actually
+   spend their time — and the top self-time frames;
+3. write the collapsed-stack output to ``fusion.collapsed``, the exact
+   format ``flamegraph.pl`` and speedscope ingest
+   (https://www.speedscope.app → "Import" → paste the file);
+4. do the same thing against a *live server* instead: launch
+   ``repro serve --workers 2`` as a subprocess and capture a merged
+   fleet-wide profile with one ``POST /debug/profile`` call.
+
+Run with ``PYTHONPATH=src python examples/profile_fusion.py``.
+"""
+
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import tempfile
+import threading
+import urllib.request
+from pathlib import Path
+
+from repro import PatternFusionConfig, pattern_fusion
+from repro.datasets import diag_plus, replace_like
+from repro.obs import profile, trace
+from repro.store import PatternStore, mine_cached
+
+REPO_SRC = Path(__file__).resolve().parent.parent / "src"
+
+
+def profile_a_fusion_run() -> None:
+    print("=== 1. profiling a fusion run in-process ===")
+    db, _truth = replace_like(n_transactions=2000, seed=5)
+    config = PatternFusionConfig(k=10, initial_pool_max_size=2, seed=7)
+
+    # Tracing gives the profiler its phase labels: each sample of a thread
+    # inside `with span("fuse_round")` lands in the "fuse_round" bucket.
+    trace.configure(enabled=True, sinks=[trace.RingBufferSink()])
+    with profile.profiling(hz=199) as profiler:
+        for _ in range(5):  # ~0.5s of work so the sampler sees every phase
+            result = pattern_fusion(db, 0.03, config)
+    trace.configure(enabled=False, sinks=[])
+    prof = profiler.result
+
+    print(f"mined {len(result.patterns)} patterns; "
+          f"{prof.n_samples} samples over {prof.duration:.2f}s\n")
+    print("--- where the time went, by engine phase ---")
+    print(prof.phase_table())
+    print("\n--- top self-time frames ---")
+    print(prof.table(limit=8))
+
+    out = Path(tempfile.gettempdir()) / "fusion.collapsed"
+    out.write_text(prof.collapsed())
+    print(f"\ncollapsed stacks -> {out}")
+    print("render: flamegraph.pl fusion.collapsed > fusion.svg")
+    print("   or paste into https://www.speedscope.app\n")
+
+
+def profile_a_live_fleet() -> None:
+    print("=== 2. profiling a live 2-worker server via POST /debug/profile ===")
+    with tempfile.TemporaryDirectory() as root:
+        store = PatternStore(Path(root) / "store")
+        mine_cached(store, "pattern_fusion", diag_plus(),
+                    minsup=20, k=10, initial_pool_max_size=2, seed=0)
+
+        env = dict(os.environ, PYTHONPATH=str(REPO_SRC))
+        # --trace-file enables tracing in the workers, which is what lets
+        # the profiler attribute request samples to the http_request phase
+        # (each worker writes spans to spans.worker<N>.jsonl).
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro",
+             "--trace-file", str(Path(root) / "spans.jsonl"),
+             "serve", "--store",
+             str(store.root), "--workers", "2", "--port", "0"],
+            stdout=subprocess.PIPE, stderr=subprocess.DEVNULL,
+            text=True, env=env,
+        )
+        try:
+            banner = proc.stdout.readline()
+            url = re.search(r"on (http://[\d.]+:\d+)", banner).group(1)
+            print(f"server up at {url}")
+
+            stop = threading.Event()
+
+            def churn():  # give the profiler request traffic to see
+                while not stop.is_set():
+                    urllib.request.urlopen(url + "/runs", timeout=10).read()
+
+            load = threading.Thread(target=churn, daemon=True)
+            load.start()
+            request = urllib.request.Request(
+                url + "/debug/profile?seconds=1.5&hz=199", method="POST")
+            with urllib.request.urlopen(request, timeout=30) as response:
+                doc = json.load(response)
+            stop.set()
+            load.join(timeout=10)
+
+            print(f"merged profile from workers {doc['workers']}: "
+                  f"{doc['n_samples']} samples")
+            print("phases:", doc["phases"])
+            serve_lines = [line for line in doc["collapsed"].splitlines()
+                           if "prefork" in line or "app." in line][:3]
+            print("sample serve frames:")
+            for line in serve_lines:
+                print("  " + line)
+        finally:
+            if proc.poll() is None:
+                proc.send_signal(signal.SIGTERM)
+                proc.communicate(timeout=30)
+    print("\nthe same merge powers `GET /debug/vars` (per-worker vitals)")
+    print("and `GET /debug/trace` (recent spans from the ring buffer)")
+
+
+if __name__ == "__main__":
+    profile_a_fusion_run()
+    profile_a_live_fleet()

@@ -29,6 +29,13 @@ Subcommands
     by default (:class:`repro.serve.PatternServer`), or ``--workers N``
     for the pre-forked production tier with bounded request queues and
     crash-respawn supervision (:class:`repro.serve.PreforkServer`).
+    Either mode exposes the live diagnostics endpoints (``/debug/vars``,
+    ``/debug/trace``, ``/debug/profile``) and honors ``--trace`` /
+    ``--trace-file`` in every worker process.
+``bench``
+    Perf-regression tooling over the committed ``BENCH_*.json``
+    trajectories: ``bench diff <old> <new>`` compares metric-by-metric
+    with per-suite thresholds and exits nonzero on a regression.
 
 Every mining subcommand dispatches through the central registry
 (:mod:`repro.api.registry`); the legacy ``mine --algorithm`` spelling is
@@ -297,6 +304,26 @@ def build_parser() -> argparse.ArgumentParser:
                             "answered 503 (prefork mode)")
     serve.add_argument("--threads", type=_positive_int, default=8,
                        help="handler threads per worker (prefork mode)")
+
+    bench = sub.add_parser(
+        "bench", help="perf-regression tooling over BENCH_*.json trajectories"
+    )
+    bench_sub = bench.add_subparsers(dest="bench_command", required=True)
+    bench_diff = bench_sub.add_parser(
+        "diff",
+        help="compare two BENCH files; exit nonzero on regression "
+             "or missing metric",
+    )
+    bench_diff.add_argument("old", type=Path,
+                            help="baseline BENCH_<suite>.json (committed)")
+    bench_diff.add_argument("new", type=Path,
+                            help="candidate BENCH_<suite>.json (fresh run)")
+    bench_diff.add_argument("--threshold", type=float, default=None,
+                            metavar="FRAC",
+                            help="allowed slowdown fraction (e.g. 0.25 = 25%%); "
+                                 "default: the suite's own threshold")
+    bench_diff.add_argument("--json", action="store_true",
+                            help="print the diff as JSON instead of a table")
     return parser
 
 
@@ -901,8 +928,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     )
     print(
         f"serving {len(store)} runs from {args.store} on {server.url} "
-        "(GET /health /metrics /miners /runs /runs/<id>, POST /mine /query; "
-        "Ctrl-C stops)",
+        "(GET /health /metrics /miners /runs /runs/<id> /debug/vars "
+        "/debug/trace, POST /mine /query /debug/profile; Ctrl-C stops)",
         flush=True,
     )
     try:
@@ -927,6 +954,8 @@ def _serve_prefork(store, args: argparse.Namespace) -> int:
             threads=args.threads,
             cache_size=args.cache_size,
             allow_mine=not args.no_mine,
+            trace_stderr=args.trace,
+            trace_file=args.trace_file,
         )
     except RuntimeError as error:  # no os.fork on this platform
         print(error, file=sys.stderr)
@@ -935,12 +964,28 @@ def _serve_prefork(store, args: argparse.Namespace) -> int:
         f"serving {len(store)} runs from {args.store} on {server.url} "
         f"({args.workers} pre-forked workers, queue depth "
         f"{args.queue_depth}, {args.threads} threads each; "
+        "/debug/vars /debug/trace /debug/profile answer fleet-wide; "
         "SIGTERM/Ctrl-C drains)",
         flush=True,
     )
     server.serve_forever()
     print("drained and stopped", flush=True)
     return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.experiments.bench_diff import diff_files
+
+    try:
+        diff = diff_files(args.old, args.new, threshold=args.threshold)
+    except (OSError, ValueError, KeyError) as error:
+        print(error, file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(diff.to_dict(), indent=2))
+    else:
+        print(diff.format())
+    return 0 if diff.ok else 1
 
 
 _COMMANDS = {
@@ -953,6 +998,7 @@ _COMMANDS = {
     "stream": _cmd_stream,
     "store": _cmd_store,
     "serve": _cmd_serve,
+    "bench": _cmd_bench,
 }
 
 

@@ -10,6 +10,12 @@ from repro.experiments import (  # noqa: F401  (registry imports these lazily)
 )
 from repro.experiments.ascii_chart import line_chart
 from repro.experiments.base import ExperimentResult, TimedOutcome, timed
+from repro.experiments.bench_diff import (
+    BenchDiff,
+    MetricDiff,
+    diff_bench,
+    diff_files,
+)
 from repro.experiments.bench_io import (
     BenchRecord,
     bench_path,
@@ -18,12 +24,16 @@ from repro.experiments.bench_io import (
 )
 
 __all__ = [
+    "BenchDiff",
     "ExperimentResult",
+    "MetricDiff",
     "TimedOutcome",
     "timed",
     "line_chart",
     "BenchRecord",
     "bench_path",
+    "diff_bench",
+    "diff_files",
     "write_bench",
     "read_bench",
     "fig6_diag_runtime",

@@ -1,0 +1,207 @@
+"""Perf-regression gate over the committed ``BENCH_*.json`` trajectories.
+
+``repro bench diff <old> <new>`` compares two trajectory files written by
+:mod:`repro.experiments.bench_io` metric-by-metric: each record's
+``seconds`` in the new file is divided by the old, and a ratio above
+``1 + threshold`` is a **regression**.  Thresholds are per-suite
+(:data:`SUITE_THRESHOLDS`) because suites have different noise floors —
+a kernel micro-benchmark repeats tightly while a serve latency percentile
+wobbles with the scheduler — and every threshold can be overridden on the
+command line (CI passes a generous one to absorb shared-runner noise).
+
+A metric present in the old file but *missing* from the new one also
+fails the diff: silently dropping a benchmark is how perf coverage rots.
+New-only metrics are reported but never fail — that's the trajectory
+growing.  Exit semantics: zero when nothing regressed, nonzero otherwise.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+__all__ = [
+    "BenchDiff",
+    "DEFAULT_THRESHOLD",
+    "MetricDiff",
+    "SUITE_THRESHOLDS",
+    "diff_bench",
+    "diff_files",
+]
+
+#: Allowed slowdown fraction when no suite-specific threshold applies:
+#: a new/old ratio strictly above ``1 + threshold`` is a regression.
+DEFAULT_THRESHOLD = 0.25
+
+#: Per-suite noise allowances (fraction over 1.0).  Latency-flavoured
+#: suites wobble more than CPU-bound kernels on a shared machine.
+SUITE_THRESHOLDS: dict[str, float] = {
+    "kernels": 0.25,
+    "obs": 0.30,
+    "profile": 0.30,
+    "serve": 0.40,
+    "store": 0.30,
+}
+
+
+@dataclass(frozen=True, slots=True)
+class MetricDiff:
+    """One metric's old-vs-new comparison."""
+
+    name: str
+    old_seconds: float | None
+    new_seconds: float | None
+    threshold: float
+
+    @property
+    def ratio(self) -> float | None:
+        """new/old, or ``None`` when either side is absent or old is 0."""
+        if self.old_seconds is None or self.new_seconds is None:
+            return None
+        if self.old_seconds <= 0:
+            return None
+        return self.new_seconds / self.old_seconds
+
+    @property
+    def status(self) -> str:
+        """``ok`` | ``improved`` | ``regression`` | ``missing`` | ``new``."""
+        if self.old_seconds is None:
+            return "new"
+        if self.new_seconds is None:
+            return "missing"
+        ratio = self.ratio
+        if ratio is None:
+            return "ok"
+        if ratio > 1.0 + self.threshold:
+            return "regression"
+        if ratio < 1.0 / (1.0 + self.threshold):
+            return "improved"
+        return "ok"
+
+    @property
+    def failed(self) -> bool:
+        return self.status in ("regression", "missing")
+
+
+@dataclass(frozen=True, slots=True)
+class BenchDiff:
+    """A whole trajectory file's comparison, ready to print or gate on."""
+
+    suite: str
+    threshold: float
+    metrics: list[MetricDiff] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> list[MetricDiff]:
+        return [m for m in self.metrics if m.status == "regression"]
+
+    @property
+    def missing(self) -> list[MetricDiff]:
+        return [m for m in self.metrics if m.status == "missing"]
+
+    @property
+    def ok(self) -> bool:
+        return not any(m.failed for m in self.metrics)
+
+    def format(self) -> str:
+        """A fixed-width table, worst ratios first, verdict line last."""
+        width = max((len(m.name) for m in self.metrics), default=4)
+        lines = [
+            f"suite {self.suite!r} @ threshold {self.threshold:.0%}",
+            f"{'METRIC':<{width}}  {'OLD(s)':>10}  {'NEW(s)':>10}  "
+            f"{'RATIO':>7}  STATUS",
+        ]
+        def sort_key(metric: MetricDiff) -> tuple[float, str]:
+            if metric.ratio is not None:
+                worst = metric.ratio
+            elif metric.failed:
+                worst = float("inf")  # missing metrics head the table
+            else:
+                worst = 1.0
+            return (-worst, metric.name)
+
+        ordered = sorted(self.metrics, key=sort_key)
+        for metric in ordered:
+            old = "-" if metric.old_seconds is None else f"{metric.old_seconds:.6f}"
+            new = "-" if metric.new_seconds is None else f"{metric.new_seconds:.6f}"
+            ratio = "-" if metric.ratio is None else f"{metric.ratio:.3f}x"
+            lines.append(
+                f"{metric.name:<{width}}  {old:>10}  {new:>10}  "
+                f"{ratio:>7}  {metric.status}"
+            )
+        if self.ok:
+            lines.append(f"OK: {len(self.metrics)} metrics within threshold")
+        else:
+            lines.append(
+                f"FAIL: {len(self.regressions)} regression(s), "
+                f"{len(self.missing)} missing metric(s)"
+            )
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "suite": self.suite,
+            "threshold": self.threshold,
+            "ok": self.ok,
+            "metrics": [
+                {
+                    "name": m.name,
+                    "old_seconds": m.old_seconds,
+                    "new_seconds": m.new_seconds,
+                    "ratio": m.ratio,
+                    "status": m.status,
+                }
+                for m in self.metrics
+            ],
+        }
+
+
+def _records_by_name(document: dict[str, Any], path: str | Path) -> dict[str, float]:
+    records = document.get("records")
+    if not isinstance(records, list):
+        raise ValueError(f"{path}: not a BENCH trajectory file (no records)")
+    return {
+        record["name"]: float(record["seconds"])
+        for record in records
+        if isinstance(record, dict) and "name" in record and "seconds" in record
+    }
+
+
+def diff_bench(
+    old: dict[str, float],
+    new: dict[str, float],
+    suite: str = "?",
+    threshold: float | None = None,
+) -> BenchDiff:
+    """Diff two name→seconds maps (``threshold=None`` picks the suite's)."""
+    if threshold is None:
+        threshold = SUITE_THRESHOLDS.get(suite, DEFAULT_THRESHOLD)
+    metrics = [
+        MetricDiff(
+            name=name,
+            old_seconds=old.get(name),
+            new_seconds=new.get(name),
+            threshold=threshold,
+        )
+        for name in sorted(set(old) | set(new))
+    ]
+    return BenchDiff(suite=suite, threshold=threshold, metrics=metrics)
+
+
+def diff_files(
+    old_path: str | Path,
+    new_path: str | Path,
+    threshold: float | None = None,
+) -> BenchDiff:
+    """Diff two ``BENCH_*.json`` files (suite read from the old file)."""
+    old_doc = json.loads(Path(old_path).read_text())
+    new_doc = json.loads(Path(new_path).read_text())
+    suite = old_doc.get("suite") or new_doc.get("suite") or "?"
+    return diff_bench(
+        _records_by_name(old_doc, old_path),
+        _records_by_name(new_doc, new_path),
+        suite=str(suite),
+        threshold=threshold,
+    )

@@ -10,6 +10,11 @@ Three independent, dependency-free surfaces:
   near-zero cost while off.
 - :mod:`repro.obs.logs` — structured logging setup (text or JSON lines)
   for the ``repro`` logger hierarchy.
+- :mod:`repro.obs.profile` — a sampling wall-clock profiler (background
+  thread over ``sys._current_frames``) emitting collapsed-stack flamegraph
+  output with per-tracing-span phase attribution.
+- :mod:`repro.obs.diag` — live-process diagnostics (RSS, GC, threads,
+  uptime, kernel backend) behind the server's ``/debug/*`` endpoints.
 
 Telemetry is an *execution* concern: nothing here ever feeds run identity,
 consumes algorithm randomness, or changes a mining result — the bit-identity
@@ -18,7 +23,8 @@ imports nothing from the rest of ``repro`` so every layer can instrument
 itself without creating import cycles.
 """
 
-from repro.obs import clock, logs, metrics, trace
+from repro.obs import clock, diag, logs, metrics, profile, trace
+from repro.obs.diag import debug_vars, ensure_trace_ring
 from repro.obs.logs import get_logger, setup_logging
 from repro.obs.metrics import (
     DEFAULT_BUCKETS,
@@ -28,6 +34,14 @@ from repro.obs.metrics import (
     MetricsRegistry,
     REGISTRY,
 )
+from repro.obs.profile import (
+    DEFAULT_HZ,
+    Profile,
+    SamplingProfiler,
+    merge_profile_dicts,
+    profile_for,
+    profiling,
+)
 from repro.obs.trace import (
     JsonlSink,
     RingBufferSink,
@@ -35,27 +49,41 @@ from repro.obs.trace import (
     TRACER,
     Tracer,
     capture,
+    current_trace_id,
     span,
+    trace_context,
 )
 
 __all__ = [
     "Counter",
     "DEFAULT_BUCKETS",
+    "DEFAULT_HZ",
     "Gauge",
     "Histogram",
     "JsonlSink",
     "MetricsRegistry",
+    "Profile",
     "REGISTRY",
     "RingBufferSink",
+    "SamplingProfiler",
     "StderrSink",
     "TRACER",
     "Tracer",
     "capture",
     "clock",
+    "current_trace_id",
+    "debug_vars",
+    "diag",
+    "ensure_trace_ring",
     "get_logger",
     "logs",
+    "merge_profile_dicts",
     "metrics",
+    "profile",
+    "profile_for",
+    "profiling",
     "setup_logging",
     "span",
     "trace",
+    "trace_context",
 ]

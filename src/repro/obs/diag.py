@@ -1,0 +1,127 @@
+"""Live-process diagnostics: the data behind the ``/debug/*`` endpoints.
+
+:func:`debug_vars` snapshots one process — RSS, GC, threads, uptime,
+kernel backend, tracing state — as a JSON-safe dict; the serving layer
+exposes it at ``GET /debug/vars`` (and the prefork tier merges one per
+worker).  :func:`ensure_trace_ring` attaches a shared
+:class:`~repro.obs.trace.RingBufferSink` to the tracer *without enabling
+tracing*, so ``GET /debug/trace`` can show recent spans whenever tracing
+is (or later becomes) on.
+
+Everything here is stdlib-only; the kernel-backend probe lazily imports
+:mod:`repro.kernels` inside a ``try`` so :mod:`repro.obs` keeps its
+imports-nothing-from-repro invariant even on trimmed installs.
+"""
+
+from __future__ import annotations
+
+import gc
+import os
+import sys
+import threading
+from typing import Any
+
+from repro.obs import clock, trace
+
+__all__ = [
+    "debug_vars",
+    "ensure_trace_ring",
+    "recent_spans",
+]
+
+#: Monotonic anchor captured at import — uptime is measured from here, which
+#: for servers is within milliseconds of process start.
+_STARTED = clock.monotonic()
+_STARTED_WALL = clock.wall()
+
+
+def _rss_bytes() -> int | None:
+    """Resident set size, via /proc on Linux with a resource(3) fallback."""
+    try:
+        with open("/proc/self/status") as handle:
+            for line in handle:
+                if line.startswith("VmRSS:"):
+                    return int(line.split()[1]) * 1024
+    except OSError:
+        pass
+    try:
+        import resource
+
+        usage = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        # Linux reports KiB, macOS bytes.
+        return usage * 1024 if sys.platform != "darwin" else usage
+    except Exception:
+        return None
+
+
+def _kernel_backend() -> str | None:
+    try:
+        from repro import kernels
+
+        return kernels.backend()
+    except Exception:
+        return None
+
+
+def debug_vars(extra: dict[str, Any] | None = None) -> dict[str, Any]:
+    """One process's vital signs as a JSON-safe dict.
+
+    ``extra`` lets callers splice in layer-specific gauges (queue depths,
+    cache sizes) without subclassing anything.
+    """
+    threads = threading.enumerate()
+    counts = gc.get_count()
+    doc: dict[str, Any] = {
+        "pid": os.getpid(),
+        "python": sys.version.split()[0],
+        "uptime_seconds": round(clock.monotonic() - _STARTED, 3),
+        "started_unix": round(_STARTED_WALL, 3),
+        "rss_bytes": _rss_bytes(),
+        "gc": {
+            "counts": list(counts),
+            "collections": [s.get("collections", 0) for s in gc.get_stats()],
+            "enabled": gc.isenabled(),
+        },
+        "threads": {
+            "count": len(threads),
+            "names": sorted(t.name for t in threads),
+        },
+        "kernel_backend": _kernel_backend(),
+        "tracing_enabled": trace.TRACER.enabled,
+    }
+    if extra:
+        doc.update(extra)
+    return doc
+
+
+#: The ring ``/debug/trace`` reads from, installed by :func:`ensure_trace_ring`.
+TRACE_RING: trace.RingBufferSink | None = None
+
+
+def ensure_trace_ring(
+    tracer: trace.Tracer = trace.TRACER, capacity: int = 4096
+) -> trace.RingBufferSink:
+    """Attach (once) a ring sink to ``tracer`` without enabling tracing.
+
+    Servers call this at startup so that the moment tracing turns on —
+    CLI flag, env var, or a future admin toggle — ``/debug/trace`` has
+    spans to show, with zero cost while tracing stays off.
+    """
+    global TRACE_RING
+    if TRACE_RING is None:
+        TRACE_RING = trace.RingBufferSink(capacity)
+        tracer.add_sink(TRACE_RING)
+    return TRACE_RING
+
+
+def recent_spans(limit: int = 100) -> list[dict[str, Any]]:
+    """The newest ``limit`` spans from the debug ring, oldest first.
+
+    Empty when tracing is disabled or :func:`ensure_trace_ring` never ran.
+    """
+    if TRACE_RING is None:
+        return []
+    spans = TRACE_RING.spans()
+    if limit >= 0:
+        spans = spans[-limit:] if limit else []
+    return spans

@@ -1,0 +1,287 @@
+"""Sampling wall-clock profiler: where the time goes, dependency-free.
+
+A background daemon thread walks :func:`sys._current_frames` at a
+configurable rate (default :data:`DEFAULT_HZ` — a prime, so the sampler
+cannot phase-lock with periodic work) and counts collapsed call stacks.
+Each sample is attributed to the **phase** the sampled thread was in —
+the name of its innermost open tracing span, read through
+:func:`repro.obs.trace.thread_span_name` — so a profile of a Pattern-Fusion
+run splits time across ``fusion.round`` / ``kernel.build`` /
+``http.request`` without any per-site instrumentation.
+
+Output is the collapsed-stack format flamegraph tooling eats directly
+(``frame;frame;frame count`` lines, one per unique stack), plus per-phase
+self-time tables.  Profiles serialize to plain dicts so the prefork serving
+tier can fan a ``POST /debug/profile`` out to every worker and merge the
+results (:func:`merge_profile_dicts`), exactly like ``/metrics`` merges
+counter snapshots.
+
+The profiler never imports anything outside :mod:`repro.obs` and costs
+nothing while stopped; at the default rate its overhead on a fusion run is
+pinned below 3% by ``benchmarks/test_profile_bench.py``.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+from dataclasses import dataclass, field
+from contextlib import contextmanager
+from typing import Any, Iterator
+
+from repro.obs import clock, trace
+
+__all__ = [
+    "DEFAULT_HZ",
+    "Profile",
+    "SamplingProfiler",
+    "merge_profile_dicts",
+    "profile_for",
+    "profiling",
+]
+
+#: Default sampling rate.  Prime and off the usual 10ms/100ms timer grids,
+#: so periodic application work cannot hide between samples.
+DEFAULT_HZ = 67
+
+#: Phase label for samples on threads with no open tracing span.
+UNATTRIBUTED = "-"
+
+#: Frames deeper than this are truncated (keeps stack keys bounded).
+MAX_DEPTH = 64
+
+
+def _frame_label(code: Any, cache: dict[int, str]) -> str:
+    """``module.qualname`` for a code object, cached by code-object id."""
+    label = cache.get(id(code))
+    if label is None:
+        filename = code.co_filename
+        stem = filename.rsplit("/", 1)[-1]
+        if stem.endswith(".py"):
+            stem = stem[:-3]
+        label = f"{stem}.{code.co_qualname}"
+        cache[id(code)] = label
+    return label
+
+
+@dataclass
+class Profile:
+    """The result of one sampling session: counted stacks, ready to render.
+
+    ``stacks`` maps ``(phase, stack)`` — the phase label and the tuple of
+    frame labels root-first — to the number of samples observed there.
+    """
+
+    hz: float
+    duration: float = 0.0
+    n_ticks: int = 0
+    stacks: dict[tuple[str, tuple[str, ...]], int] = field(default_factory=dict)
+
+    @property
+    def n_samples(self) -> int:
+        """Total thread-stack samples (≥ ``n_ticks`` with >1 thread live)."""
+        return sum(self.stacks.values())
+
+    def collapsed(self, phase_prefix: bool = True) -> str:
+        """Flamegraph-ready collapsed stacks, one ``a;b;c count`` per line.
+
+        With ``phase_prefix`` (the default) each stack is rooted at its
+        phase label, so a flamegraph splits first by fusion round / kernel
+        build / request handling, then by call stack.
+        """
+        lines = []
+        for (phase, stack), count in sorted(
+            self.stacks.items(), key=lambda item: (-item[1], item[0])
+        ):
+            frames = (phase, *stack) if phase_prefix else stack
+            lines.append(f"{';'.join(frames)} {count}")
+        return "\n".join(lines)
+
+    def phase_samples(self) -> dict[str, int]:
+        """Samples per phase, most-sampled first."""
+        totals: dict[str, int] = {}
+        for (phase, _stack), count in self.stacks.items():
+            totals[phase] = totals.get(phase, 0) + count
+        return dict(sorted(totals.items(), key=lambda item: (-item[1], item[0])))
+
+    def self_times(self) -> dict[str, int]:
+        """Samples per *leaf* frame — the classic self-time table."""
+        totals: dict[str, int] = {}
+        for (_phase, stack), count in self.stacks.items():
+            if stack:
+                leaf = stack[-1]
+                totals[leaf] = totals.get(leaf, 0) + count
+        return dict(sorted(totals.items(), key=lambda item: (-item[1], item[0])))
+
+    def phase_table(self, limit: int = 20) -> str:
+        """Human-readable per-phase self-time table (percent of samples)."""
+        total = self.n_samples or 1
+        lines = [f"{'samples':>8}  {'%':>6}  phase"]
+        for phase, count in list(self.phase_samples().items())[:limit]:
+            lines.append(f"{count:>8}  {100.0 * count / total:>5.1f}%  {phase}")
+        return "\n".join(lines)
+
+    def table(self, limit: int = 20) -> str:
+        """Human-readable self-time table over leaf frames."""
+        total = self.n_samples or 1
+        lines = [f"{'samples':>8}  {'%':>6}  frame"]
+        for frame, count in list(self.self_times().items())[:limit]:
+            lines.append(f"{count:>8}  {100.0 * count / total:>5.1f}%  {frame}")
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict[str, Any]:
+        """A JSON-safe dict (stack key flattened to ``phase;a;b;c``)."""
+        return {
+            "hz": self.hz,
+            "duration": self.duration,
+            "n_ticks": self.n_ticks,
+            "stacks": {
+                ";".join((phase, *stack)): count
+                for (phase, stack), count in self.stacks.items()
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, doc: dict[str, Any]) -> "Profile":
+        stacks: dict[tuple[str, tuple[str, ...]], int] = {}
+        for key, count in doc.get("stacks", {}).items():
+            phase, *frames = key.split(";")
+            stacks[(phase, tuple(frames))] = int(count)
+        return cls(
+            hz=float(doc.get("hz", DEFAULT_HZ)),
+            duration=float(doc.get("duration", 0.0)),
+            n_ticks=int(doc.get("n_ticks", 0)),
+            stacks=stacks,
+        )
+
+
+def merge_profile_dicts(docs: list[dict[str, Any]]) -> Profile:
+    """Merge serialized per-worker profiles into one (the prefork fan-in).
+
+    Stack counts add; durations take the max (the workers sampled
+    concurrently, not back to back); ticks add so sample totals stay
+    meaningful.
+    """
+    merged = Profile(hz=0.0)
+    for doc in docs:
+        profile = Profile.from_dict(doc)
+        merged.hz = max(merged.hz, profile.hz)
+        merged.duration = max(merged.duration, profile.duration)
+        merged.n_ticks += profile.n_ticks
+        for key, count in profile.stacks.items():
+            merged.stacks[key] = merged.stacks.get(key, 0) + count
+    return merged
+
+
+class SamplingProfiler:
+    """Background sampler over ``sys._current_frames``.
+
+    ``start()`` / ``stop()`` are idempotent; ``stop()`` returns the
+    :class:`Profile` collected since ``start()``.  One profiler instance
+    can be reused for sequential sessions but never runs two at once.
+    """
+
+    def __init__(self, hz: float = DEFAULT_HZ, max_depth: int = MAX_DEPTH) -> None:
+        if hz <= 0:
+            raise ValueError(f"hz must be positive, got {hz!r}")
+        self.hz = float(hz)
+        self.max_depth = int(max_depth)
+        self._thread: threading.Thread | None = None
+        self._stop_event = threading.Event()
+        self._profile: Profile | None = None
+        self._label_cache: dict[int, str] = {}
+
+    @property
+    def running(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    def start(self) -> "SamplingProfiler":
+        """Begin sampling (no-op if already running)."""
+        if self.running:
+            return self
+        self._stop_event.clear()
+        self._profile = Profile(hz=self.hz)
+        self._label_cache.clear()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-profiler", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> Profile:
+        """Stop sampling and return the collected profile (idempotent)."""
+        thread, self._thread = self._thread, None
+        if thread is not None:
+            self._stop_event.set()
+            thread.join(timeout=5.0)
+        profile = self._profile
+        if profile is None:
+            profile = Profile(hz=self.hz)
+        return profile
+
+    def _run(self) -> None:
+        profile = self._profile
+        assert profile is not None
+        interval = 1.0 / self.hz
+        started = clock.monotonic()
+        tick = 0
+        while not self._stop_event.is_set():
+            self._sample_once(profile)
+            tick += 1
+            profile.n_ticks = tick
+            profile.duration = clock.monotonic() - started
+            # Drift-corrected sleep: schedule against the start time, not the
+            # previous tick, so slow samples don't accumulate lag.
+            deadline = started + tick * interval
+            delay = deadline - clock.monotonic()
+            if delay > 0:
+                self._stop_event.wait(delay)
+        profile.duration = clock.monotonic() - started
+
+    def _sample_once(self, profile: Profile) -> None:
+        own = threading.get_ident()
+        cache = self._label_cache
+        for ident, frame in sys._current_frames().items():
+            if ident == own:
+                continue
+            frames: list[str] = []
+            depth = 0
+            while frame is not None and depth < self.max_depth:
+                frames.append(_frame_label(frame.f_code, cache))
+                frame = frame.f_back
+                depth += 1
+            frames.reverse()
+            phase = trace.thread_span_name(ident) or UNATTRIBUTED
+            key = (phase, tuple(frames))
+            profile.stacks[key] = profile.stacks.get(key, 0) + 1
+
+
+@contextmanager
+def profiling(hz: float = DEFAULT_HZ) -> Iterator[SamplingProfiler]:
+    """Profile the enclosed block; read ``.profile`` off the yielded sampler
+    after the block via the returned profiler's :meth:`SamplingProfiler.stop`
+    result — or more simply, use the profile bound at exit:
+
+    >>> with profiling(hz=97) as profiler:   # doctest: +SKIP
+    ...     work()
+    >>> print(profiler.result.collapsed())   # doctest: +SKIP
+    """
+    profiler = SamplingProfiler(hz=hz)
+    profiler.start()
+    try:
+        yield profiler
+    finally:
+        profiler.result = profiler.stop()  # type: ignore[attr-defined]
+
+
+def profile_for(seconds: float, hz: float = DEFAULT_HZ) -> Profile:
+    """Block for ``seconds`` while sampling every live thread.
+
+    The on-demand ``POST /debug/profile`` path: the handler thread parks
+    here while the sampler watches the rest of the process work.
+    """
+    profiler = SamplingProfiler(hz=hz)
+    profiler.start()
+    done = threading.Event()
+    done.wait(max(0.0, float(seconds)))
+    return profiler.stop()

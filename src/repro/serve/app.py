@@ -12,6 +12,11 @@ POST    ``/mine``          mine through the store cache; body
                            ``{"dataset": ..., "miner": ..., "config": {...}}``
 POST    ``/query``         evaluate a query; body
                            ``{"run": id, "query": {...}}``
+GET     ``/debug/vars``    live-process vitals (RSS, GC, threads, uptime,
+                           queue depths, kernel backend) per worker
+GET     ``/debug/trace``   recent spans from the debug ring (``?limit=N``)
+POST    ``/debug/profile`` on-demand sampling profile of the live server
+                           (``?seconds=S&hz=H``), collapsed-stack output
 ======  =================  ====================================================
 
 Every request is measured: a ``repro_http_requests_total`` counter split by
@@ -20,6 +25,12 @@ structured access-log line (logger ``repro.serve.access``), and an
 ``X-Request-Id`` response header (the client's, when it sent one).  Route
 labels are normalised (``/runs/<id>`` → ``/runs/{id}``; unknown paths →
 ``other``) so label cardinality stays bounded under hostile traffic.
+
+Requests also carry **trace context**: the ``X-Trace-Id`` header (generated
+when absent, always echoed back) is installed as the ambient trace id for
+the handler, so the per-request span — and every span the request opens,
+including engine worker batches ingested mid-request — lands in one
+stitched tree under that id, across threads and processes alike.
 
 The HTTP-free core is :class:`PatternApp`: dispatch, validation, and two
 in-process LRUs in front of the disk — loaded runs (payload + prebuilt
@@ -50,7 +61,7 @@ from urllib.parse import parse_qs, urlparse
 from repro.api.pipeline import load_dataset
 from repro.api.registry import get_miner_spec, miner_names
 from repro.mining.results import Pattern
-from repro.obs import clock, metrics, trace
+from repro.obs import clock, diag, metrics, profile, trace
 from repro.obs.logs import get_logger
 from repro.obs.metrics import REGISTRY
 from repro.store.cache import LRUCache, mine_cached
@@ -84,8 +95,15 @@ _REQUEST_IDS = itertools.count(1)
 
 #: The fixed route vocabulary for metric labels (see module docstring).
 _ROUTES = frozenset(
-    {"/", "/health", "/metrics", "/miners", "/runs", "/mine", "/query"}
+    {
+        "/", "/health", "/metrics", "/miners", "/runs", "/mine", "/query",
+        "/debug/vars", "/debug/trace", "/debug/profile",
+    }
 )
+
+#: Hard ceilings for on-demand profiling requests (seconds, hz).
+MAX_PROFILE_SECONDS = 30.0
+MAX_PROFILE_HZ = 2000.0
 
 
 def _route_of(path: str) -> str:
@@ -387,6 +405,52 @@ class PatternServer(PatternApp):
         self.close()
 
 
+def _query_number(
+    query: dict[str, list[str]], key: str, default: float, maximum: float
+) -> float:
+    values = query.get(key)
+    if not values:
+        return default
+    try:
+        value = float(values[-1])
+    except ValueError:
+        raise _ApiError(400, f"{key} must be a number, got {values[-1]!r}") from None
+    if not value > 0:
+        raise _ApiError(400, f"{key} must be positive, got {value!r}")
+    return min(value, maximum)
+
+
+def _handle_debug(
+    server: "_StoreHTTPServer", method: str, path: str,
+    query: dict[str, list[str]],
+) -> tuple[int, dict[str, Any]]:
+    """Dispatch one ``/debug/*`` request against the *server* layer.
+
+    Debug endpoints live on the server, not the app: they report
+    process-level state (queue depths, the metrics spool, sibling
+    workers) the HTTP-free :class:`PatternApp` knows nothing about.  The
+    prefork tier's worker server overrides the three ``debug_*`` hooks to
+    answer for the whole fleet.
+    """
+    parts = [part for part in path.split("/") if part]
+    if method == "GET" and parts == ["debug", "vars"]:
+        return 200, {"workers": server.debug_vars_by_worker()}
+    if method == "GET" and parts == ["debug", "trace"]:
+        values = query.get("limit")
+        try:
+            limit = int(values[-1]) if values else 100
+        except ValueError:
+            raise _ApiError(
+                400, f"limit must be an integer, got {values[-1]!r}"
+            ) from None
+        return 200, server.debug_trace(limit)
+    if method == "POST" and parts == ["debug", "profile"]:
+        seconds = _query_number(query, "seconds", 1.0, MAX_PROFILE_SECONDS)
+        hz = _query_number(query, "hz", profile.DEFAULT_HZ, MAX_PROFILE_HZ)
+        return 200, server.debug_profile(seconds, hz)
+    raise _ApiError(404, f"no debug route for {method} /{'/'.join(parts)}")
+
+
 def _limit_of(query: dict[str, list[str]]) -> int | None:
     values = query.get("limit")
     if not values:
@@ -405,6 +469,8 @@ class _StoreHTTPServer(ThreadingHTTPServer):
 
     def __init__(self, address, handler, app: PatternApp) -> None:
         self.app = app
+        # The ring /debug/trace reads; zero-cost until tracing is enabled.
+        diag.ensure_trace_ring()
         super().__init__(address, handler)
 
     def render_metrics(self) -> str:
@@ -414,6 +480,49 @@ class _StoreHTTPServer(ThreadingHTTPServer):
         worker's spooled snapshot into one exposition.
         """
         return REGISTRY.render()
+
+    # ------------------------------------------------------------------
+    # /debug/* hooks (the prefork WorkerServer overrides all three to
+    # answer for the whole fleet via the metrics spool)
+    # ------------------------------------------------------------------
+
+    def debug_vars_extra(self) -> dict[str, Any]:
+        """Layer-specific additions to this process's /debug/vars doc."""
+        return {
+            "query_cache": self.app.query_cache.stats(),
+            "run_cache": self.app.run_cache.stats(),
+        }
+
+    def debug_vars_by_worker(self) -> dict[str, Any]:
+        """Per-worker vitals; single-process servers report as ``self``."""
+        return {"self": diag.debug_vars(extra=self.debug_vars_extra())}
+
+    def debug_trace(self, limit: int) -> dict[str, Any]:
+        spans = diag.recent_spans(limit)
+        return {
+            "tracing_enabled": trace.TRACER.enabled,
+            "count": len(spans),
+            "spans": spans,
+        }
+
+    def debug_profile(self, seconds: float, hz: float) -> dict[str, Any]:
+        prof = profile.profile_for(seconds, hz)
+        return {
+            "seconds": seconds,
+            "hz": hz,
+            "workers": ["self"],
+            "n_samples": prof.n_samples,
+            "phases": prof.phase_samples(),
+            "collapsed": prof.collapsed(),
+        }
+
+    def current_queue_wait(self) -> float | None:
+        """Seconds the in-progress request waited in an accept queue.
+
+        ``None`` here: the threaded server has no queue.  The prefork
+        worker loop records per-request waits for its access log.
+        """
+        return None
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -428,19 +537,23 @@ class _Handler(BaseHTTPRequestHandler):
     def _respond(
         self, status: int, payload: dict[str, Any] | list[Any],
         request_id: str | None = None,
+        trace_id: str | None = None,
     ) -> None:
         body = json.dumps(payload, indent=2).encode() + b"\n"
-        self._write(status, body, "application/json", request_id)
+        self._write(status, body, "application/json", request_id, trace_id)
 
     def _write(
         self, status: int, body: bytes, content_type: str,
         request_id: str | None,
+        trace_id: str | None = None,
     ) -> None:
         self.send_response(status)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
         if request_id is not None:
             self.send_header("X-Request-Id", request_id)
+        if trace_id is not None:
+            self.send_header("X-Trace-Id", trace_id)
         self.end_headers()
         self.wfile.write(body)
 
@@ -448,10 +561,14 @@ class _Handler(BaseHTTPRequestHandler):
         parsed = urlparse(self.path)
         route = _route_of(parsed.path)
         request_id = self.headers.get("X-Request-Id") or _next_request_id()
+        # The trace id stitches everything this request causes — handler
+        # span, engine worker batches, prefork hops — into one tree; a
+        # client that sends none gets the request id as the trace root.
+        trace_id = self.headers.get("X-Trace-Id") or request_id
         started = clock.monotonic()
         run_id: str | None = None
         is_scrape = method == "GET" and route == "/metrics"
-        with _IN_FLIGHT.track(), trace.span(
+        with _IN_FLIGHT.track(), trace.trace_context(trace_id), trace.span(
             "http_request", method=method, route=route, request_id=request_id
         ) as span:
             if is_scrape:
@@ -477,7 +594,11 @@ class _Handler(BaseHTTPRequestHandler):
                 "status": status,
                 "duration_ms": round(elapsed * 1000, 3),
                 "request_id": request_id,
+                "trace_id": trace_id,
             }
+            queue_wait = self.server.current_queue_wait()
+            if queue_wait is not None:
+                extra["queue_wait_ms"] = round(queue_wait * 1000, 3)
             if run_id is not None:
                 extra["run_id"] = run_id
             _ACCESS_LOG.info(
@@ -492,9 +613,10 @@ class _Handler(BaseHTTPRequestHandler):
                     self.server.render_metrics().encode(),
                     "text/plain; version=0.0.4; charset=utf-8",
                     request_id,
+                    trace_id,
                 )
             else:
-                self._respond(status, payload, request_id)
+                self._respond(status, payload, request_id, trace_id)
 
     def _handle_json(
         self, method: str, parsed: Any
@@ -511,6 +633,12 @@ class _Handler(BaseHTTPRequestHandler):
             if not isinstance(body, dict):
                 return 400, {"error": "JSON body must be an object"}
         try:
+            parts = [part for part in parsed.path.split("/") if part]
+            if parts[:1] == ["debug"]:
+                # Debug endpoints target the server layer, not the app.
+                return _handle_debug(
+                    self.server, method, parsed.path, parse_qs(parsed.query)
+                )
             return self.server.app.handle(
                 method, parsed.path, parse_qs(parsed.query), body
             )

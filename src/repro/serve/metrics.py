@@ -82,6 +82,38 @@ class MetricsSpool:
                 out.append(snap)
         return out
 
+    def put_doc(self, name: str, doc: Any) -> Path:
+        """Write an arbitrary JSON document into the spool, atomically.
+
+        The generic side-channel the debug endpoints ride on: the
+        supervisor publishes ``pids``, workers publish ``vars-<id>`` and
+        ``profile-<request>-<id>`` results — same atomic temp+rename
+        discipline as metric snapshots, same crash semantics.
+        """
+        path = self.root / f"{name}.json"
+        tmp = path.with_name(path.name + f".tmp{os.getpid()}")
+        tmp.write_text(json.dumps(doc))
+        os.replace(tmp, path)
+        return path
+
+    def read_doc(self, name: str) -> Any | None:
+        """Read one document back, or ``None`` while absent/mid-rename."""
+        try:
+            return json.loads((self.root / f"{name}.json").read_text())
+        except (OSError, json.JSONDecodeError):
+            return None
+
+    def read_docs(self, prefix: str) -> dict[str, Any]:
+        """All docs named ``<prefix>-<suffix>.json``, keyed by suffix."""
+        out: dict[str, Any] = {}
+        for path in sorted(self.root.glob(f"{prefix}-*.json")):
+            suffix = path.name[len(prefix) + 1 : -len(".json")]
+            try:
+                out[suffix] = json.loads(path.read_text())
+            except (OSError, json.JSONDecodeError):
+                continue
+        return out
+
     def render_merged(
         self,
         worker: str | None = None,

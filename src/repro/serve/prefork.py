@@ -23,7 +23,15 @@ worker start) and spools snapshots through
 :class:`~repro.serve.metrics.MetricsSpool`, so ``GET /metrics`` served by
 any worker renders the whole fleet with a ``worker="<i>"`` label per
 series (the supervisor contributes restart counts as
-``worker="supervisor"``).
+``worker="supervisor"``).  The ``/debug/*`` endpoints ride the same spool:
+``/debug/vars`` merges per-worker vitals documents, and ``/debug/profile``
+fans out — the handling worker publishes a profile request, pokes its
+siblings with ``SIGUSR1`` (pids come from the supervisor's spooled
+``pids`` document), every process samples itself concurrently, and the
+spooled results merge into one fleet-wide collapsed-stack profile.
+Tracing passes through: ``--trace``/``--trace-file`` reach the workers,
+each writing its own ``<file>.worker<i>`` JSON-lines file (inherited file
+handles are never shared across the fork).
 
 ``repro serve --workers N --queue-depth M`` is the CLI front door;
 :class:`WorkerServer` is also usable in-process (no fork) for
@@ -41,7 +49,10 @@ import tempfile
 import threading
 import time
 
-from repro.obs import metrics
+import itertools
+
+from repro.obs import clock, diag, metrics, trace
+from repro.obs import profile as profile_mod
 from repro.obs.logs import get_logger
 from repro.serve.app import PatternApp, _Handler
 from repro.serve.metrics import MetricsSpool
@@ -58,6 +69,12 @@ _ACCEPT_TIMEOUT = 0.5
 #: The supervisor's id in the metrics spool.
 _SUPERVISOR = "supervisor"
 
+#: Extra seconds a profile fan-out waits for sibling results past the
+#: sampling window itself (signal delivery + spool write slack).
+_PROFILE_GRACE = 3.0
+
+_PROFILE_IDS = itertools.count(1)
+
 _CONNECTIONS = metrics.counter(
     "repro_prefork_connections_total", "Connections accepted by this worker"
 )
@@ -68,6 +85,11 @@ _REJECTED = metrics.counter(
 _QUEUE_DEPTH = metrics.gauge(
     "repro_prefork_queue_depth",
     "Requests waiting in this worker's bounded queue",
+)
+_QUEUE_WAIT = metrics.histogram(
+    "repro_serve_queue_wait_seconds",
+    "Seconds a request sat in the worker's bounded queue between "
+    "accept-enqueue and handler start (503 tuning signal)",
 )
 _RESTARTS = metrics.counter(
     "repro_prefork_worker_restarts_total",
@@ -130,6 +152,9 @@ class WorkerServer:
         self._n_threads = threads
         self._threads: list[threading.Thread] = []
         self._draining = threading.Event()
+        # Per-handler-thread state the access log reads back mid-request.
+        self._local = threading.local()
+        diag.ensure_trace_ring()
 
     # ------------------------------------------------------------------
     # The _Handler server interface
@@ -140,6 +165,139 @@ class WorkerServer:
         if self.spool is None:
             return metrics.REGISTRY.render()
         return self.spool.render_merged(self.worker_id)
+
+    def current_queue_wait(self) -> float | None:
+        """Queue wait of the request the calling handler thread is serving."""
+        return getattr(self._local, "queue_wait", None)
+
+    # ------------------------------------------------------------------
+    # /debug/* (fleet-wide via the spool; self-only without one)
+    # ------------------------------------------------------------------
+
+    def debug_vars_extra(self) -> dict:
+        return {
+            "worker": self.worker_id,
+            "queue_depth": self.queue.qsize(),
+            "queue_capacity": self.queue.maxsize,
+            "handler_threads": self._n_threads,
+            "draining": self._draining.is_set(),
+            "query_cache": self.app.query_cache.stats(),
+            "run_cache": self.app.run_cache.stats(),
+        }
+
+    def debug_vars_by_worker(self) -> dict:
+        """``/debug/vars``: every worker's spooled vitals, ours refreshed."""
+        mine = diag.debug_vars(extra=self.debug_vars_extra())
+        if self.spool is None:
+            return {self.worker_id: mine}
+        self.spool.put_doc(f"vars-{self.worker_id}", mine)
+        merged = self.spool.read_docs("vars")
+        merged[self.worker_id] = mine
+        return merged
+
+    def debug_trace(self, limit: int) -> dict:
+        """``/debug/trace``: the handling worker's ring (spans don't spool)."""
+        spans = diag.recent_spans(limit)
+        return {
+            "worker": self.worker_id,
+            "tracing_enabled": trace.TRACER.enabled,
+            "count": len(spans),
+            "spans": spans,
+        }
+
+    def debug_profile(self, seconds: float, hz: float) -> dict:
+        """``/debug/profile``: sample the whole fleet, merge via the spool.
+
+        The handling worker publishes the request, SIGUSR1s its siblings
+        (each samples itself and spools the result), samples itself for
+        the same window, then collects and merges whatever arrived by the
+        deadline — a missing sibling degrades the merge, never hangs it.
+        """
+        siblings = self._sibling_pids()
+        request_id = None
+        if siblings and self.spool is not None:
+            request_id = f"{os.getpid():x}-{next(_PROFILE_IDS):x}"
+            self.spool.put_doc(
+                "profile-request",
+                {
+                    "id": request_id,
+                    "seconds": seconds,
+                    "hz": hz,
+                    "requester": self.worker_id,
+                },
+            )
+            for pid in siblings.values():
+                try:
+                    os.kill(pid, signal.SIGUSR1)
+                except (ProcessLookupError, PermissionError):
+                    continue
+        own = profile_mod.profile_for(seconds, hz)
+        docs = [own.to_dict()]
+        workers = [self.worker_id]
+        if request_id is not None:
+            deadline = time.monotonic() + seconds + _PROFILE_GRACE
+            found: dict = {}
+            while set(siblings) - set(found) and time.monotonic() < deadline:
+                time.sleep(0.05)
+                found = self.spool.read_docs(f"profile-{request_id}")
+            for worker_id in sorted(found):
+                docs.append(found[worker_id])
+                workers.append(worker_id)
+        merged = profile_mod.merge_profile_dicts(docs)
+        return {
+            "seconds": seconds,
+            "hz": hz,
+            "workers": workers,
+            "n_samples": merged.n_samples,
+            "phases": merged.phase_samples(),
+            "collapsed": merged.collapsed(),
+        }
+
+    def _sibling_pids(self) -> dict[str, int]:
+        """Live sibling workers from the supervisor's spooled pids doc."""
+        if self.spool is None:
+            return {}
+        doc = self.spool.read_doc("pids")
+        if not isinstance(doc, dict):
+            return {}
+        own = os.getpid()
+        return {
+            worker_id: pid
+            for worker_id, pid in doc.items()
+            if isinstance(pid, int) and pid != own and worker_id != self.worker_id
+        }
+
+    def handle_profile_signal(self) -> None:
+        """SIGUSR1: a sibling wants a fleet profile — answer off-thread."""
+        threading.Thread(
+            target=self._answer_profile_request,
+            name=f"repro-worker-{self.worker_id}-profile",
+            daemon=True,
+        ).start()
+
+    def _answer_profile_request(self) -> None:
+        if self.spool is None:
+            return
+        request = self.spool.read_doc("profile-request")
+        if not isinstance(request, dict) or "id" not in request:
+            return
+        try:
+            prof = profile_mod.profile_for(
+                float(request.get("seconds", 1.0)),
+                float(request.get("hz", profile_mod.DEFAULT_HZ)),
+            )
+        except ValueError:
+            return
+        self.spool.put_doc(
+            f"profile-{request['id']}-{self.worker_id}", prof.to_dict()
+        )
+
+    def _flush_vars(self) -> None:
+        if self.spool is not None:
+            self.spool.put_doc(
+                f"vars-{self.worker_id}",
+                diag.debug_vars(extra=self.debug_vars_extra()),
+            )
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -163,6 +321,7 @@ class WorkerServer:
             # Publish this worker's (zeroed) series immediately: a scrape
             # right after startup already shows every worker.
             self.spool.flush(self.worker_id)
+            self._flush_vars()
         try:
             while not self._draining.is_set():
                 try:
@@ -173,7 +332,7 @@ class WorkerServer:
                     break  # listener closed under us: treat as drain
                 _CONNECTIONS.inc()
                 try:
-                    self.queue.put_nowait((conn, addr))
+                    self.queue.put_nowait((conn, addr, clock.monotonic()))
                 except queue.Full:
                     self._reject(conn)
                 else:
@@ -187,6 +346,7 @@ class WorkerServer:
                 thread.join(timeout=self.conn_timeout)
             if self.spool is not None:
                 self.spool.flush(self.worker_id)
+                self._flush_vars()
 
     # ------------------------------------------------------------------
     # Internals
@@ -209,19 +369,24 @@ class WorkerServer:
             item = self.queue.get()
             if item is None:
                 return
-            conn, addr = item
+            conn, addr, enqueued = item
+            wait = clock.monotonic() - enqueued
+            _QUEUE_WAIT.observe(wait)
+            self._local.queue_wait = wait
             try:
                 conn.settimeout(self.conn_timeout)
                 _Handler(conn, addr, self)
             except Exception:
                 _LOG.exception("handler crashed on a connection from %s", addr)
             finally:
+                self._local.queue_wait = None
                 try:
                     conn.close()
                 except OSError:
                     pass
                 if self.spool is not None:
-                    self.spool.maybe_flush(self.worker_id)
+                    if self.spool.maybe_flush(self.worker_id):
+                        self._flush_vars()
 
 
 class PreforkServer:
@@ -246,6 +411,8 @@ class PreforkServer:
         allow_mine: bool = True,
         warm: bool = True,
         grace: float = 10.0,
+        trace_stderr: bool = False,
+        trace_file: str | os.PathLike[str] | None = None,
     ) -> None:
         if not hasattr(os, "fork"):
             raise RuntimeError(
@@ -259,6 +426,8 @@ class PreforkServer:
         self.queue_depth = queue_depth
         self.threads = threads
         self.grace = grace
+        self.trace_stderr = trace_stderr
+        self.trace_file = None if trace_file is None else os.fspath(trace_file)
         self._warm = warm
         self.app = PatternApp(store, cache_size=cache_size, allow_mine=allow_mine)
         self._socket = socket.create_server((host, port), backlog=128)
@@ -312,6 +481,7 @@ class PreforkServer:
         try:
             for index in range(self.workers):
                 self._spawn(index)
+            self._publish_pids()
             while not self._stop:
                 try:
                     pid, status = os.waitpid(-1, os.WNOHANG)
@@ -330,8 +500,16 @@ class PreforkServer:
                 )
                 self._spool.flush(_SUPERVISOR)
                 self._spawn(index)
+                self._publish_pids()
         finally:
             self._shutdown(previous)
+
+    def _publish_pids(self) -> None:
+        """Spool worker-id → pid so any worker can SIGUSR1 its siblings."""
+        if self._spool is not None:
+            self._spool.put_doc(
+                "pids", {str(index): pid for pid, index in self._pids.items()}
+            )
 
     def _handle_stop(self, signum: int, frame: object) -> None:
         self._stop = True
@@ -350,6 +528,38 @@ class PreforkServer:
                 os._exit(code)
         self._pids[pid] = index
 
+    def _configure_worker_tracing(self, index: int) -> None:
+        """Per-worker trace sinks: own files, never the parent's handles.
+
+        An inherited :class:`~repro.obs.trace.JsonlSink` would share the
+        supervisor's (lazily opened) file handle across processes and
+        interleave torn lines, so each worker replaces every JSONL path —
+        inherited or passed via ``trace_file`` — with its own
+        ``<stem>.worker<i><ext>`` sink.  ``trace_stderr``/``trace_file``
+        also *enable* tracing in the worker, which is the
+        ``--trace``/``--trace-file`` pass-through.
+        """
+        sinks = [
+            sink for sink in trace.TRACER.sinks
+            if not isinstance(sink, trace.JsonlSink)
+        ]
+        enabled = trace.TRACER.enabled
+        paths = [
+            sink.path for sink in trace.TRACER.sinks
+            if isinstance(sink, trace.JsonlSink)
+        ]
+        if self.trace_file is not None:
+            paths.append(self.trace_file)
+        for path in dict.fromkeys(paths):
+            root, ext = os.path.splitext(path)
+            sinks.append(trace.JsonlSink(f"{root}.worker{index}{ext or '.jsonl'}"))
+            enabled = True
+        if self.trace_stderr:
+            if not any(isinstance(sink, trace.StderrSink) for sink in sinks):
+                sinks.append(trace.StderrSink())
+            enabled = True
+        trace.TRACER.configure(enabled=enabled, sinks=sinks)
+
     def _worker_main(self, index: int) -> None:
         # Ctrl-C goes to the whole foreground process group; workers ignore
         # it and drain on the SIGTERM the supervisor sends instead.
@@ -357,6 +567,7 @@ class PreforkServer:
         # Fresh per-worker series: the registry structure is inherited from
         # the fork, the counts must not be (they'd double-report the warm).
         metrics.REGISTRY.reset()
+        self._configure_worker_tracing(index)
         worker = WorkerServer(
             self._socket,
             self.app,
@@ -366,7 +577,18 @@ class PreforkServer:
             spool=self._spool,
         )
         signal.signal(signal.SIGTERM, lambda signum, frame: worker.drain())
-        worker.serve_forever()
+        signal.signal(
+            signal.SIGUSR1, lambda signum, frame: worker.handle_profile_signal()
+        )
+        try:
+            worker.serve_forever()
+        finally:
+            # Workers leave via os._exit, which skips atexit — flush the
+            # trace file here or the tail spans are lost.
+            for sink in trace.TRACER.sinks:
+                close = getattr(sink, "close", None)
+                if close is not None:
+                    close()
 
     def _shutdown(self, previous: dict[int, object]) -> None:
         for pid in list(self._pids):

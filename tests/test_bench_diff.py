@@ -1,0 +1,154 @@
+"""The perf-regression gate: bench_diff semantics and the CLI front door.
+
+Covers the three verdict paths the CI job depends on — regression
+detected, within-threshold noise, and a metric silently missing from the
+new file — plus the improved/new statuses, per-suite threshold selection,
+and the ``repro bench diff`` exit-code contract (the synthetic 50%
+regression from the acceptance criteria exits nonzero at defaults).
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.experiments.bench_diff import (
+    DEFAULT_THRESHOLD,
+    SUITE_THRESHOLDS,
+    diff_bench,
+    diff_files,
+)
+from repro.experiments.bench_io import BenchRecord, write_bench
+
+
+def write_suite(path, suite, seconds_by_name):
+    records = [
+        BenchRecord(name=name, seconds=seconds, meta={})
+        for name, seconds in seconds_by_name.items()
+    ]
+    write_bench(path, suite, records)
+    return path
+
+
+class TestDiffBench:
+    def test_regression_detected_above_threshold(self):
+        diff = diff_bench({"m": 1.0}, {"m": 1.6}, threshold=0.25)
+        (metric,) = diff.metrics
+        assert metric.status == "regression"
+        assert metric.ratio == pytest.approx(1.6)
+        assert not diff.ok
+
+    def test_fifty_percent_regression_fails_at_default_threshold(self):
+        # The acceptance-criteria case: 1.5x must trip the default gate.
+        diff = diff_bench({"m": 0.2}, {"m": 0.3})
+        assert diff.threshold == DEFAULT_THRESHOLD
+        assert diff.metrics[0].status == "regression"
+
+    def test_within_threshold_is_ok(self):
+        diff = diff_bench({"m": 1.0}, {"m": 1.2}, threshold=0.25)
+        assert diff.metrics[0].status == "ok"
+        assert diff.ok
+
+    def test_exactly_at_threshold_is_ok(self):
+        # Strict inequality: ratio == 1 + threshold does not fail.
+        diff = diff_bench({"m": 1.0}, {"m": 1.25}, threshold=0.25)
+        assert diff.metrics[0].status == "ok"
+
+    def test_improvement_is_labelled(self):
+        diff = diff_bench({"m": 1.0}, {"m": 0.5}, threshold=0.25)
+        assert diff.metrics[0].status == "improved"
+        assert diff.ok
+
+    def test_missing_metric_fails(self):
+        diff = diff_bench({"kept": 1.0, "dropped": 1.0}, {"kept": 1.0})
+        by_name = {metric.name: metric.status for metric in diff.metrics}
+        assert by_name == {"kept": "ok", "dropped": "missing"}
+        assert not diff.ok
+        assert [m.name for m in diff.missing] == ["dropped"]
+
+    def test_new_metric_is_informational(self):
+        diff = diff_bench({"old": 1.0}, {"old": 1.0, "added": 9.9})
+        by_name = {metric.name: metric.status for metric in diff.metrics}
+        assert by_name == {"old": "ok", "added": "new"}
+        assert diff.ok  # the trajectory growing is never a failure
+
+    def test_zero_baseline_never_divides(self):
+        diff = diff_bench({"m": 0.0}, {"m": 5.0})
+        assert diff.metrics[0].ratio is None
+        assert diff.metrics[0].status == "ok"
+
+    def test_format_table_has_verdict_and_worst_first(self):
+        diff = diff_bench(
+            {"fast": 1.0, "slow": 1.0, "gone": 1.0},
+            {"fast": 1.0, "slow": 3.0},
+            threshold=0.25,
+        )
+        text = diff.format()
+        lines = text.splitlines()
+        assert "FAIL: 1 regression(s), 1 missing metric(s)" in lines[-1]
+        # Missing heads the table, then the worst ratio.
+        names = [line.split()[0] for line in lines[2:-1]]
+        assert names == ["gone", "slow", "fast"]
+
+    def test_to_dict_is_json_ready(self):
+        doc = diff_bench({"m": 1.0}, {"m": 2.0}).to_dict()
+        assert json.loads(json.dumps(doc)) == doc
+        assert doc["ok"] is False
+
+
+class TestDiffFiles:
+    def test_suite_threshold_is_picked_from_the_file(self, tmp_path):
+        old = write_suite(tmp_path / "old.json", "serve", {"m": 1.0})
+        new = write_suite(tmp_path / "new.json", "serve", {"m": 1.35})
+        diff = diff_files(old, new)
+        assert diff.suite == "serve"
+        assert diff.threshold == SUITE_THRESHOLDS["serve"]
+        assert diff.ok  # 1.35x sits inside serve's 40% latency allowance
+
+    def test_explicit_threshold_overrides_suite(self, tmp_path):
+        old = write_suite(tmp_path / "old.json", "serve", {"m": 1.0})
+        new = write_suite(tmp_path / "new.json", "serve", {"m": 1.35})
+        diff = diff_files(old, new, threshold=0.1)
+        assert not diff.ok
+
+    def test_non_bench_file_is_rejected(self, tmp_path):
+        bogus = tmp_path / "bogus.json"
+        bogus.write_text('{"not": "a bench file"}')
+        with pytest.raises(ValueError, match="no records"):
+            diff_files(bogus, bogus)
+
+
+class TestCli:
+    def run(self, *argv):
+        return main(["bench", "diff", *argv])
+
+    def test_injected_regression_exits_nonzero(self, tmp_path, capsys):
+        old = write_suite(tmp_path / "old.json", "kernels",
+                          {"a": 1.0, "b": 0.5})
+        regressed = write_suite(tmp_path / "new.json", "kernels",
+                                {"a": 1.5, "b": 0.75})  # 50% slower everywhere
+        assert self.run(str(old), str(regressed)) == 1
+        out = capsys.readouterr().out
+        assert "regression" in out and "FAIL" in out
+
+    def test_identical_files_exit_zero(self, tmp_path, capsys):
+        old = write_suite(tmp_path / "old.json", "kernels", {"a": 1.0})
+        assert self.run(str(old), str(old)) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_generous_threshold_passes_noise(self, tmp_path):
+        old = write_suite(tmp_path / "old.json", "kernels", {"a": 1.0})
+        new = write_suite(tmp_path / "new.json", "kernels", {"a": 2.0})
+        assert self.run(str(old), str(new)) == 1
+        assert self.run(str(old), str(new), "--threshold", "4.0") == 0
+
+    def test_json_output_mode(self, tmp_path, capsys):
+        old = write_suite(tmp_path / "old.json", "kernels", {"a": 1.0})
+        assert self.run(str(old), str(old), "--json") == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["suite"] == "kernels" and doc["ok"] is True
+
+    def test_unreadable_file_is_usage_error(self, tmp_path, capsys):
+        missing = tmp_path / "nope.json"
+        assert self.run(str(missing), str(missing)) == 2
+        assert capsys.readouterr().err
