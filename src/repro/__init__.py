@@ -77,6 +77,14 @@ from repro.mining import (
     mine_up_to_size,
     top_k_closed,
 )
+from repro.resilience import (
+    CheckpointManager,
+    FaultInjected,
+    FaultSchedule,
+    RetryPolicy,
+    fault_points,
+    set_fault_schedule,
+)
 from repro.serve import PatternServer
 from repro.sequences import (
     SequenceDatabase,
@@ -178,6 +186,13 @@ __all__ = [
     "LRUCache",
     "dataset_fingerprint",
     "PatternServer",
+    # resilience
+    "RetryPolicy",
+    "CheckpointManager",
+    "FaultSchedule",
+    "FaultInjected",
+    "fault_points",
+    "set_fault_schedule",
     # observability
     "MetricsRegistry",
     "TRACER",

@@ -21,9 +21,16 @@ Subcommands
     (FIMI replay or a drifting synthetic source) and print the drift report.
 ``store``
     Inspect a pattern store: ``ls`` the runs (``--json`` adds format
-    version and on-disk bytes), ``show`` one run, ``query`` a run's pool
-    with the composable operators, ``migrate`` v1-only runs to the
-    mmap-able binary format (idempotent, run ids unchanged).
+    version and on-disk bytes; orphaned temp files from interrupted
+    writes are garbage-collected), ``show`` one run, ``query`` a run's
+    pool with the composable operators, ``migrate`` v1-only runs to the
+    mmap-able binary format (idempotent, run ids unchanged), ``verify``
+    every on-disk checksum of one or all runs.
+``chaos``
+    Run Pattern-Fusion under a deterministic fault schedule
+    (:mod:`repro.resilience.faults`) and check the mined pool against a
+    clean serial reference — the resilience layer's acceptance drill.
+    ``--list-points`` names the injection points.
 ``serve``
     Serve a pattern store over the HTTP JSON API — threaded in-process
     by default (:class:`repro.serve.PatternServer`), or ``--workers N``
@@ -42,7 +49,10 @@ Every mining subcommand dispatches through the central registry
 kept as an alias for ``--miner``.  ``mine``, ``fuse``, and ``stream`` can
 persist what they mine: ``--out FILE`` writes a standalone JSON run
 document, ``--store DIR`` saves a run into a pattern store (both at once is
-fine).
+fine).  The same three commands take ``--checkpoint FILE [--resume]`` to
+make a long run crash-resumable round by round (slide by slide for
+``stream``); a resumed run reproduces the uninterrupted pool and run id
+exactly.
 """
 
 from __future__ import annotations
@@ -140,6 +150,7 @@ def build_parser() -> argparse.ArgumentParser:
     mine.add_argument("--limit", type=int, default=20,
                       help="print at most this many patterns")
     _add_persist_args(mine)
+    _add_checkpoint_args(mine)
     _add_engine_args(
         mine,
         jobs_help="worker processes for the sharded support audit "
@@ -163,6 +174,7 @@ def build_parser() -> argparse.ArgumentParser:
     fuse.add_argument("--seed", type=int, default=0)
     fuse.add_argument("--limit", type=int, default=20)
     _add_persist_args(fuse)
+    _add_checkpoint_args(fuse)
     _add_engine_args(fuse)
 
     evaluate = sub.add_parser(
@@ -231,6 +243,7 @@ def build_parser() -> argparse.ArgumentParser:
     stream.add_argument("--stream-name", default="stream",
                         help="store stream the slides append to "
                              "(default: stream)")
+    _add_checkpoint_args(stream)
     _add_engine_args(
         stream,
         jobs_help="worker processes for revalidation and re-fusion "
@@ -252,6 +265,16 @@ def build_parser() -> argparse.ArgumentParser:
     migrate.add_argument("--run", default=None, metavar="RUN_ID",
                          help="migrate one run (default: every run missing "
                               "patterns.bin); idempotent, run ids unchanged")
+    verify = store_sub.add_parser(
+        "verify",
+        help="check on-disk run integrity (meta, v1 text, binary CRCs "
+             "including the mmap-deferred word checksum)",
+    )
+    _add_store_arg(verify)
+    verify.add_argument("run_id", nargs="?", default=None,
+                        help="verify one run (default: every run)")
+    verify.add_argument("--json", action="store_true",
+                        help="print the per-run reports as JSON")
     show = store_sub.add_parser("show", help="print one run")
     _add_store_arg(show)
     show.add_argument("run_id", help="content-hashed run id (see `store ls`)")
@@ -304,6 +327,35 @@ def build_parser() -> argparse.ArgumentParser:
                             "answered 503 (prefork mode)")
     serve.add_argument("--threads", type=_positive_int, default=8,
                        help="handler threads per worker (prefork mode)")
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="fault-injected Pattern-Fusion run checked against a clean "
+             "serial reference (the resilience layer's acceptance drill)",
+    )
+    chaos_source = chaos.add_mutually_exclusive_group()
+    chaos_source.add_argument("--input", type=Path,
+                              help="FIMI .dat transaction file")
+    chaos_source.add_argument("--dataset", choices=list(BUILTIN_DATASETS),
+                              help="built-in generated dataset")
+    chaos.add_argument("--n", type=int, default=40,
+                       help="size for --dataset diag")
+    chaos.add_argument("--dataset-seed", type=int, default=7)
+    chaos.add_argument("--minsup", type=_minsup_arg, default=None,
+                       help="relative in (0,1] or absolute >= 1")
+    chaos.add_argument("--k", type=int, default=100)
+    chaos.add_argument("--tau", type=float, default=0.5)
+    chaos.add_argument("--pool-size", type=int, default=3,
+                       help="initial pool max pattern size")
+    chaos.add_argument("--seed", type=int, default=0)
+    chaos.add_argument("--jobs", type=_positive_int, default=2,
+                       help="worker processes for the faulted run (default 2)")
+    chaos.add_argument("--faults", default=None, metavar="SPEC",
+                       help="fault schedule, e.g. "
+                            "'kill@executor.chunk:first=1,every=2' "
+                            "(default: env REPRO_FAULTS)")
+    chaos.add_argument("--list-points", action="store_true",
+                       help="list the registered injection points and exit")
 
     bench = sub.add_parser(
         "bench", help="perf-regression tooling over BENCH_*.json trajectories"
@@ -369,6 +421,38 @@ def _add_persist_args(parser: argparse.ArgumentParser) -> None:
     persist.add_argument("--store", type=Path, default=None, metavar="DIR",
                          help="save the result as a run in a pattern store "
                               "(prints the content-hashed run id)")
+
+
+def _add_checkpoint_args(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_argument_group(
+        "checkpointing",
+        "crash-resumable driver state (results never depend on these)",
+    )
+    group.add_argument("--checkpoint", type=Path, default=None, metavar="FILE",
+                       help="persist driver state here after every "
+                            "--checkpoint-every rounds/slides (atomic writes; "
+                            "removed once the run completes)")
+    group.add_argument("--checkpoint-every", type=_positive_int, default=1,
+                       metavar="N", help="checkpoint every N rounds/slides "
+                                         "(default 1)")
+    group.add_argument("--resume", action="store_true",
+                       help="resume from --checkpoint if it exists (otherwise "
+                            "an existing file is discarded and the run starts "
+                            "fresh); the resumed run reproduces the "
+                            "uninterrupted pool and run id exactly")
+
+
+def _make_checkpoint(args: argparse.Namespace):
+    """Build the CheckpointManager for --checkpoint/--resume (or None)."""
+    if getattr(args, "checkpoint", None) is None:
+        if getattr(args, "resume", False):
+            raise _CliError("--resume requires --checkpoint FILE")
+        return None
+    from repro.resilience import CheckpointManager
+
+    if not args.resume and args.checkpoint.exists():
+        args.checkpoint.unlink()  # a fresh run must not adopt stale state
+    return CheckpointManager(args.checkpoint, interval=args.checkpoint_every)
 
 
 def _add_engine_args(
@@ -553,12 +637,23 @@ def _cmd_mine(args: argparse.Namespace) -> int:
     try:
         spec = get_miner_spec(name)
         config = _build_mine_config(spec, args)
+        checkpoint = _make_checkpoint(args)
+        if checkpoint is not None and spec.name not in (
+            "pattern_fusion", "parallel_pattern_fusion"
+        ):
+            raise _CliError(
+                "--checkpoint is supported for the round-based fusion miners "
+                f"(pattern_fusion, parallel_pattern_fusion), not {spec.name!r}"
+            )
     except (_CliError, ValueError) as error:
         print(error, file=sys.stderr)
         return 2
     db = _load_database(args)
     print(describe(db))
-    result = spec.cls(config).mine(db)
+    if checkpoint is not None:
+        result = spec.cls(config).fuse(db, checkpoint=checkpoint).as_mining_result()
+    else:
+        result = spec.cls(config).mine(db)
     _print_result(result, args.limit)
     _persist_result(result, db, args, spec.name, config.identity_dict())
     if args.shards > 0 or args.jobs > 1:
@@ -606,6 +701,11 @@ def _cmd_miners(args: argparse.Namespace) -> int:
 
 
 def _cmd_fuse(args: argparse.Namespace) -> int:
+    try:
+        checkpoint = _make_checkpoint(args)
+    except _CliError as error:
+        print(error, file=sys.stderr)
+        return 2
     db = _load_database(args)
     print(describe(db))
     spec = get_miner_spec("parallel_pattern_fusion")
@@ -622,7 +722,7 @@ def _cmd_fuse(args: argparse.Namespace) -> int:
             "jobs": args.jobs,
         })
     )
-    result = miner.fuse(db)
+    result = miner.fuse(db, checkpoint=checkpoint)
     engine_note = f" [engine: {args.jobs} jobs]" if args.jobs > 1 else ""
     print(
         f"pattern-fusion: {len(result)} patterns after {result.iterations} "
@@ -679,6 +779,12 @@ def _cmd_datasets(args: argparse.Namespace) -> int:
 def _cmd_stream(args: argparse.Namespace) -> int:
     from repro.streaming import DriftingPatternSource, FimiReplaySource
 
+    try:
+        checkpoint = _make_checkpoint(args)
+    except _CliError as error:
+        print(error, file=sys.stderr)
+        return 2
+
     # Flags that belong to the other source are rejected, not ignored — a
     # silently dropped --transactions or --batches means the telemetry
     # describes a different stream than the one asked for.
@@ -716,8 +822,21 @@ def _cmd_stream(args: argparse.Namespace) -> int:
         "seed": args.seed,
     })
     with make_executor(args.jobs) as executor:
-        miner = spec.cls(config, executor=executor)
-        report = miner.run(source, max_slides=args.max_slides)
+        miner = spec.cls(config, executor=executor, checkpoint=checkpoint)
+        max_slides = args.max_slides
+        done = miner.driver.slides if checkpoint is not None else 0
+        if done:
+            # Resume: the checkpointed driver already consumed `done`
+            # batches, so skip them in the replayed source — the remaining
+            # slides then land on the exact stream positions of the
+            # uninterrupted run.
+            import itertools
+
+            source = itertools.islice(iter(source), done, None)
+            if max_slides is not None:
+                max_slides = max(0, max_slides - done)
+            print(f"resumed from {args.checkpoint} at slide {done}")
+        report = miner.run(source, max_slides=max_slides)
         if not len(report):
             print("stream produced no transactions", file=sys.stderr)
             return 2
@@ -751,6 +870,8 @@ def _cmd_stream(args: argparse.Namespace) -> int:
                 f"{args.stream_name!r}; stored final pool as run {run_id} "
                 f"in {args.store}"
             )
+        if checkpoint is not None:
+            checkpoint.clear()
     # Audit after the stream's executor has shut down, so the audit's own
     # worker pool is the only one alive.
     if args.shards > 0:
@@ -778,6 +899,8 @@ def _cmd_store(args: argparse.Namespace) -> int:
             return _store_ls(store, args)
         if args.store_command == "migrate":
             return _store_migrate(store, args)
+        if args.store_command == "verify":
+            return _store_verify(store, args)
         if args.store_command == "show":
             return _store_show(store, args)
         return _store_query(store, args)
@@ -788,6 +911,11 @@ def _cmd_store(args: argparse.Namespace) -> int:
 
 
 def _store_ls(store, args: argparse.Namespace) -> int:
+    # Crash debris from interrupted atomic writes; stderr keeps --json clean.
+    removed = store.gc_temp_files()
+    if removed:
+        print(f"gc: removed {len(removed)} orphaned temp file(s)",
+              file=sys.stderr)
     if args.json:
         records = [store.run_info(run_id) for run_id in store.run_ids()]
         print(json.dumps(
@@ -831,6 +959,23 @@ def _store_migrate(store, args: argparse.Namespace) -> int:
         "(run ids unchanged)"
     )
     return 0
+
+
+def _store_verify(store, args: argparse.Namespace) -> int:
+    reports = store.verify(args.run_id)
+    corrupt = [report for report in reports if not report["ok"]]
+    if args.json:
+        print(json.dumps({"store": str(store.root), "runs": reports}, indent=2))
+        return 1 if corrupt else 0
+    for report in reports:
+        if report["ok"]:
+            print(f"run {report['run_id']}: OK ({', '.join(report['checks'])})")
+        else:
+            print(f"run {report['run_id']}: CORRUPT")
+            for error in report["errors"]:
+                print(f"  {error}")
+    print(f"{len(reports)} run(s) checked, {len(corrupt)} corrupt")
+    return 1 if corrupt else 0
 
 
 def _store_show(store, args: argparse.Namespace) -> int:
@@ -973,6 +1118,100 @@ def _serve_prefork(store, args: argparse.Namespace) -> int:
     return 0
 
 
+def _pool_digest(patterns) -> str:
+    """Content hash of a mined pool: items + exact tidsets, order-free."""
+    import hashlib
+
+    key = sorted(
+        (sorted(pattern.items), format(pattern.tidset, "x"))
+        for pattern in patterns
+    )
+    return hashlib.sha256(json.dumps(key).encode()).hexdigest()[:16]
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.engine import parallel_pattern_fusion
+    from repro.obs import metrics
+    from repro.resilience import FaultSchedule, fault_points, set_fault_schedule
+
+    if args.list_points:
+        width = max(len(point) for point in fault_points())
+        for point, where in sorted(fault_points().items()):
+            print(f"{point:<{width}}  {where}")
+        return 0
+    if args.input is None and args.dataset is None:
+        print("chaos needs --input or --dataset (or --list-points)",
+              file=sys.stderr)
+        return 2
+    if args.minsup is None:
+        print("chaos requires --minsup", file=sys.stderr)
+        return 2
+    spec = args.faults if args.faults is not None else os.environ.get(
+        "REPRO_FAULTS", ""
+    )
+    try:
+        faults = FaultSchedule.parse(spec)
+    except ValueError as error:
+        print(error, file=sys.stderr)
+        return 2
+    if not faults:
+        print(
+            "no fault rules given (use --faults or REPRO_FAULTS, e.g. "
+            "--faults 'kill@executor.chunk:first=1,every=2'); "
+            "see --list-points",
+            file=sys.stderr,
+        )
+        return 2
+    db = _load_database(args)
+    print(describe(db))
+    from repro.core.config import PatternFusionConfig
+
+    config = PatternFusionConfig(
+        k=args.k, tau=args.tau, initial_pool_max_size=args.pool_size,
+        seed=args.seed,
+    )
+    # Clean serial reference first, with injection explicitly disabled so an
+    # exported REPRO_FAULTS cannot leak into the baseline.
+    set_fault_schedule(FaultSchedule.parse(""))
+    try:
+        reference = parallel_pattern_fusion(db, args.minsup, config, jobs=1)
+        set_fault_schedule(faults)
+        chaotic = parallel_pattern_fusion(
+            db, args.minsup, config, jobs=args.jobs
+        )
+    finally:
+        set_fault_schedule(None)  # back to the environment's schedule
+    ref_digest = _pool_digest(reference.patterns)
+    chaos_digest = _pool_digest(chaotic.patterns)
+    print(
+        f"reference (serial, no faults): {len(reference.patterns)} patterns "
+        f"in {reference.elapsed_seconds:.3f}s  pool {ref_digest}"
+    )
+    print(
+        f"chaos ({args.jobs} jobs, {spec!r}): {len(chaotic.patterns)} "
+        f"patterns in {chaotic.elapsed_seconds:.3f}s  pool {chaos_digest}"
+    )
+    families = (
+        "repro_faults_injected_total", "repro_retries_total",
+        "repro_chunk_failures_total", "repro_chunk_reshards_total",
+        "repro_chunk_serial_fallbacks_total", "repro_checkpoint_saves_total",
+    )
+    lines = [
+        line for line in metrics.REGISTRY.render().splitlines()
+        if line.startswith(families) and not line.startswith("#")
+    ]
+    if lines:
+        print("resilience counters:")
+        for line in lines:
+            print(f"  {line}")
+    if ref_digest == chaos_digest:
+        print("PASS: faulted pool is bit-identical to the clean reference")
+        return 0
+    print("FAIL: faulted pool diverged from the clean reference",
+          file=sys.stderr)
+    return 1
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.experiments.bench_diff import diff_files
 
@@ -998,6 +1237,7 @@ _COMMANDS = {
     "stream": _cmd_stream,
     "store": _cmd_store,
     "serve": _cmd_serve,
+    "chaos": _cmd_chaos,
     "bench": _cmd_bench,
 }
 

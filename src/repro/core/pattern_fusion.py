@@ -18,7 +18,7 @@ with more than K still in the pool.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # engine imports this module; keep the cycle lazy
@@ -30,11 +30,20 @@ from repro.core.ball_index import PatternBallIndex
 from repro.core.config import PatternFusionConfig
 from repro.core.distance import ball_radius, balls
 from repro.core.fusion import fuse_ball
+from repro.db import dataset_fingerprint
 from repro.db.transaction_db import TransactionDatabase
 from repro.kernels import use_backend
 from repro.mining.levelwise import mine_up_to_size
 from repro.mining.results import MiningResult, Pattern, largest_patterns
 from repro.obs import clock, metrics, trace
+from repro.resilience.checkpoint import (
+    CheckpointManager,
+    decode_patterns,
+    decode_rng,
+    encode_patterns,
+    encode_rng,
+)
+from repro.resilience.faults import schedule as fault_schedule
 
 __all__ = [
     "IterationStats",
@@ -127,6 +136,7 @@ def pattern_fusion(
     config: PatternFusionConfig | None = None,
     initial_pool: list[Pattern] | None = None,
     executor: "Executor | None" = None,
+    checkpoint: CheckpointManager | None = None,
 ) -> PatternFusionResult:
     """Run Pattern-Fusion end to end (the paper's Algorithm 1).
 
@@ -148,15 +158,21 @@ def pattern_fusion(
         :mod:`repro.engine.parallel_fusion`); the result is deterministic in
         ``config.seed`` and identical for any job count.  When omitted, the
         original single-process loop runs unchanged.
+    checkpoint:
+        Optional :class:`~repro.resilience.CheckpointManager`.  When given,
+        driver state (pool, RNG cursor, iteration bookkeeping) is durably
+        persisted every ``checkpoint.interval`` rounds and a matching
+        checkpoint on disk resumes the run mid-loop — reproducing the
+        uninterrupted run's pool (and hence its run id) exactly.
 
     Returns
     -------
     PatternFusionResult
         Final pool, per-iteration telemetry, and provenance.
     """
-    return PatternFusion(db, minsup, config, executor=executor).run(
-        initial_pool=initial_pool
-    )
+    return PatternFusion(
+        db, minsup, config, executor=executor, checkpoint=checkpoint
+    ).run(initial_pool=initial_pool)
 
 
 class PatternFusion:
@@ -172,11 +188,13 @@ class PatternFusion:
         minsup: float | int,
         config: PatternFusionConfig | None = None,
         executor: "Executor | None" = None,
+        checkpoint: CheckpointManager | None = None,
     ) -> None:
         self.db = db
         self.config = config or PatternFusionConfig()
         self.minsup = db.absolute_minsup(minsup)
         self.executor = executor
+        self.checkpoint = checkpoint
 
     def mine_initial_pool(self) -> list[Pattern]:
         """Phase 1: the complete set of patterns up to the configured size."""
@@ -203,22 +221,43 @@ class PatternFusion:
         config = self.config
         rng = random.Random(config.seed)
         start = clock.monotonic()
+        faults = fault_schedule()
+        checkpoint = self.checkpoint
+        if checkpoint is not None and checkpoint.identity is None:
+            checkpoint.identity = self._checkpoint_identity()
+        resumed = checkpoint.load() if checkpoint is not None else None
         with trace.span(
-            "pattern_fusion", minsup=self.minsup, k=config.k, tau=config.tau
+            "pattern_fusion", minsup=self.minsup, k=config.k, tau=config.tau,
+            resumed=resumed is not None,
         ) as root:
-            pool = (
-                list(initial_pool)
-                if initial_pool is not None
-                else self.mine_initial_pool()
-            )
-            initial_size = len(pool)
+            if resumed is not None:
+                # Mid-loop state of the interrupted run: phase 1 is skipped
+                # and the RNG cursor continues exactly where it stopped, so
+                # the remaining rounds replay the uninterrupted trajectory.
+                pool = decode_patterns(resumed["pool"])
+                initial_size = resumed["initial_size"]
+                iteration = resumed["iteration"]
+                stagnant = resumed["stagnant"]
+                signature = tuple(
+                    (int(size), int(count)) for size, count in resumed["signature"]
+                )
+                history = [IterationStats(**entry) for entry in resumed["history"]]
+                rng.setstate(decode_rng(resumed["rng"]))
+            else:
+                pool = (
+                    list(initial_pool)
+                    if initial_pool is not None
+                    else self.mine_initial_pool()
+                )
+                initial_size = len(pool)
+                history = []
+                iteration = 0
+                stagnant = 0
+                signature = _size_signature(pool)
             radius = ball_radius(config.tau)
-            history: list[IterationStats] = []
-            iteration = 0
-            stagnant = 0
-            signature = _size_signature(pool)
             while len(pool) > config.k and iteration < config.max_iterations:
                 iteration += 1
+                faults.fire("fusion.round")
                 before = len(pool)
                 with trace.span(
                     "fusion_round", iteration=iteration, pool_size=before
@@ -243,10 +282,19 @@ class PatternFusion:
                 else:
                     stagnant = 0
                     signature = new_signature
+                if checkpoint is not None:
+                    checkpoint.offer(
+                        lambda: self._checkpoint_state(
+                            pool, rng, iteration, stagnant, signature,
+                            history, initial_size,
+                        )
+                    )
             if len(pool) > config.k:
                 # Guard fired with an oversized pool: keep the K most colossal.
                 pool = largest_patterns(pool, config.k)
             root.set(iterations=iteration, final_pool=len(pool))
+        if checkpoint is not None:
+            checkpoint.clear()
         return PatternFusionResult(
             patterns=pool,
             config=config,
@@ -312,6 +360,42 @@ class PatternFusion:
         _DEDUP_DROPPED.inc(produced - len(fused_by_items))
         return list(fused_by_items.values())
 
+    def _checkpoint_identity(self) -> dict:
+        """What run a checkpoint belongs to: algorithm knobs + dataset.
+
+        Execution-only knobs (jobs, executor choice) are naturally absent —
+        they live outside :class:`PatternFusionConfig` — so a run may resume
+        under a different worker count and still replay bit-identically.
+        """
+        return {
+            "algorithm": "pattern_fusion",
+            "config": asdict(self.config),
+            "minsup": self.minsup,
+            "dataset": dataset_fingerprint(self.db),
+        }
+
+    def _checkpoint_state(
+        self,
+        pool: list[Pattern],
+        rng: random.Random,
+        iteration: int,
+        stagnant: int,
+        signature: tuple[tuple[int, int], ...],
+        history: list[IterationStats],
+        initial_size: int,
+    ) -> dict:
+        """The complete mid-loop driver state, JSON-shaped."""
+        return {
+            "kind": "fusion",
+            "pool": encode_patterns(pool),
+            "rng": encode_rng(rng.getstate()),
+            "iteration": iteration,
+            "stagnant": stagnant,
+            "signature": [list(pair) for pair in signature],
+            "initial_size": initial_size,
+            "history": [asdict(entry) for entry in history],
+        }
+
 
 @dataclass(frozen=True, slots=True)
 class PatternFusionMinerConfig(MinerConfig, PatternFusionConfig):
@@ -354,12 +438,19 @@ class FusionMiner(Miner):
     config_type = PatternFusionMinerConfig
 
     def fuse(
-        self, db: TransactionDatabase, initial_pool: list[Pattern] | None = None
+        self,
+        db: TransactionDatabase,
+        initial_pool: list[Pattern] | None = None,
+        checkpoint: CheckpointManager | None = None,
     ) -> PatternFusionResult:
         """Run and return the full result (history, iteration telemetry)."""
         config: PatternFusionMinerConfig = self.config  # type: ignore[assignment]
         return pattern_fusion(
-            db, config.minsup, config.fusion_config(), initial_pool=initial_pool
+            db,
+            config.minsup,
+            config.fusion_config(),
+            initial_pool=initial_pool,
+            checkpoint=checkpoint,
         )
 
     def mine(self, db: TransactionDatabase) -> MiningResult:

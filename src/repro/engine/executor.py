@@ -23,6 +23,15 @@ Two executors implement the interface:
   ``spawn``).  On hosts where process pools are
   unavailable (restricted sandboxes), it degrades to the serial path with a
   warning instead of failing, so callers never need their own fallback.
+
+Dispatch is *supervised* (:mod:`repro.resilience.supervised`): a worker
+death, injected fault, or deadline expiry fails only the chunks that were
+in flight — completed results are banked, failed chunks retried on a fresh
+pool under the executor's :class:`~repro.resilience.RetryPolicy`, reshard-
+split on repeated failure, and only exhausted retries run serially.  The
+merged output is bit-identical to serial for any failure schedule.  Only a
+pool that cannot be (re)created at all — fork or semaphores forbidden —
+takes the permanent serial degrade of earlier revisions.
 """
 
 from __future__ import annotations
@@ -35,6 +44,9 @@ from concurrent.futures.process import BrokenProcessPool
 from typing import Any, TypeVar
 
 from repro.obs import metrics, trace
+from repro.resilience.faults import apply_action, schedule as fault_schedule
+from repro.resilience.retry import RetryPolicy
+from repro.resilience.supervised import run_supervised
 
 __all__ = [
     "Executor",
@@ -78,15 +90,52 @@ _WORKER_PAYLOAD: Any = None
 _UNSET = object()
 
 
-def _init_worker(payload: Any) -> None:
-    """Pool initializer: install the shared payload in this worker."""
+def _init_worker(payload: Any, fault_action: Any = None) -> None:
+    """Pool initializer: install the shared payload in this worker.
+
+    ``fault_action`` is a shipped ``executor.warmup`` fault (chaos testing):
+    the driver consulted its schedule at pool creation and every worker of
+    that pool generation applies the chosen action here.
+    """
     global _WORKER_PAYLOAD
     _WORKER_PAYLOAD = payload
+    apply_action(fault_action)
 
 
 def worker_payload() -> Any:
     """The payload of the enclosing ``map_reduce`` call (serial or worker)."""
     return _WORKER_PAYLOAD
+
+
+def _invoke_chunk(fn: Callable[[Any], Any], chunk: Any, fault_action: Any = None) -> Any:
+    """Worker entry of a supervised dispatch: apply the shipped fault, run ``fn``.
+
+    The fault action (if any) was chosen by the *driver's* schedule for this
+    specific dispatch attempt — kill exits the worker, delay sleeps, raise
+    throws ``FaultInjected`` — then the chunk runs exactly as unsupervised
+    code would.
+    """
+    apply_action(fault_action)
+    return fn(chunk)
+
+
+def _run_chunk_inline(fn: Callable[[Any], Any], chunk: Any, payload: Any) -> Any:
+    """Run one chunk in the driver with ``payload`` installed (serial fallback)."""
+    global _WORKER_PAYLOAD
+    previous = _WORKER_PAYLOAD
+    _WORKER_PAYLOAD = payload
+    try:
+        return fn(chunk)
+    finally:
+        _WORKER_PAYLOAD = previous
+
+
+class _PoolUnavailable(Exception):
+    """Internal: the worker pool could not be (re)created at all."""
+
+    def __init__(self, error: BaseException) -> None:
+        super().__init__(str(error))
+        self.error = error
 
 
 class Executor:
@@ -155,12 +204,22 @@ class ParallelExecutor(Executor):
         ``multiprocessing`` start method; defaults to ``fork`` where
         available (payload warm-up is then copy-on-write-cheap) and the
         platform default elsewhere.
+    retry:
+        The :class:`~repro.resilience.RetryPolicy` governing supervised
+        dispatch (retries, backoff, reshard, deadline).  Defaults to the
+        policy's defaults: 3 attempts, reshard after 2, no deadline.
     """
 
-    def __init__(self, jobs: int, start_method: str | None = None) -> None:
+    def __init__(
+        self,
+        jobs: int,
+        start_method: str | None = None,
+        retry: RetryPolicy | None = None,
+    ) -> None:
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
         self.jobs = jobs
+        self.retry = retry if retry is not None else RetryPolicy()
         self._start_method = start_method
         self._pool: ProcessPoolExecutor | None = None
         self._payload: Any = _UNSET
@@ -179,11 +238,12 @@ class ParallelExecutor(Executor):
         if self._pool is not None and payload is self._payload:
             return self._pool
         self._shutdown_pool()
+        warmup_fault = fault_schedule().check("executor.warmup")
         pool = ProcessPoolExecutor(
             max_workers=self.jobs,
             mp_context=self._context(),
             initializer=_init_worker,
-            initargs=(payload,),
+            initargs=(payload, warmup_fault),
         )
         _POOL_WARMUPS.inc()
         self._pool = pool
@@ -196,6 +256,30 @@ class ParallelExecutor(Executor):
             self._pool = None
             self._payload = _UNSET
 
+    def _reset_pool(self, kill: bool = False) -> None:
+        """Discard the current pool so the next dispatch builds a fresh one.
+
+        ``kill=True`` hard-terminates the worker processes first: the
+        supervised dispatcher calls it on deadline expiry, when the workers
+        are presumed hung and a graceful shutdown would block forever.
+        """
+        pool = self._pool
+        self._pool = None
+        self._payload = _UNSET
+        if pool is None:
+            return
+        if kill:
+            processes = list((getattr(pool, "_processes", None) or {}).values())
+            for process in processes:
+                process.terminate()
+            for process in processes:
+                process.join(timeout=1.0)
+                if process.is_alive():
+                    process.kill()
+            pool.shutdown(wait=False, cancel_futures=True)
+        else:
+            pool.shutdown(wait=True, cancel_futures=True)
+
     def map_reduce(
         self,
         fn: Callable[[Any], Any],
@@ -207,22 +291,41 @@ class ParallelExecutor(Executor):
         if self.jobs == 1 or len(chunks) <= 1 or self._degraded:
             return self._serial.map_reduce(fn, chunks, merge, payload)
         _CHUNKS.inc(len(chunks), executor="process")
+        faults = fault_schedule()
         with trace.span(
             "map_reduce", executor="process", chunks=len(chunks), jobs=self.jobs
         ), _MAP_REDUCE_SECONDS.time(executor="process"):
             try:
-                pool = self._ensure_pool(payload)
-            except OSError as error:
-                return self._degrade(error, fn, chunks, merge, payload)
-            try:
-                results = list(pool.map(fn, chunks))
-            except BrokenProcessPool as error:
-                # Only infrastructure failure degrades: an exception raised by
-                # ``fn`` inside a worker (even an OSError subclass) is
-                # re-raised by pool.map as itself, propagates to the caller
-                # unchanged, and leaves the pool healthy.
-                return self._degrade(error, fn, chunks, merge, payload)
+                results = run_supervised(
+                    pool_factory=lambda: self._pool_or_unavailable(payload),
+                    reset_pool=self._reset_pool,
+                    fn=fn,
+                    chunks=chunks,
+                    policy=self.retry,
+                    faults=faults if faults else None,
+                    serial_fn=lambda chunk: _run_chunk_inline(fn, chunk, payload),
+                    invoke=_invoke_chunk,
+                )
+            except _PoolUnavailable as error:
+                # Only infrastructure failure degrades: worker deaths and
+                # injected faults are absorbed by the supervised retry loop,
+                # and an exception raised by ``fn`` inside a worker (even an
+                # OSError subclass) propagates to the caller unchanged,
+                # leaving the pool healthy.
+                return self._degrade(error.error, fn, chunks, merge, payload)
         return merge(results)
+
+    def _pool_or_unavailable(self, payload: Any) -> ProcessPoolExecutor:
+        """``_ensure_pool`` with creation failures wrapped for the degrade path.
+
+        The wrapper keeps ``run_supervised`` able to re-raise ``fn``'s own
+        exceptions (even OSError subclasses) without the executor mistaking
+        them for a missing pool.
+        """
+        try:
+            return self._ensure_pool(payload)
+        except (OSError, BrokenProcessPool) as error:
+            raise _PoolUnavailable(error) from error
 
     def _degrade(self, error, fn, chunks, merge, payload):
         """Fall back to serial for good after a pool-infrastructure failure.
@@ -251,13 +354,17 @@ class ParallelExecutor(Executor):
         return f"ParallelExecutor(jobs={self.jobs}, {state})"
 
 
-def make_executor(jobs: int = 1, start_method: str | None = None) -> Executor:
+def make_executor(
+    jobs: int = 1,
+    start_method: str | None = None,
+    retry: RetryPolicy | None = None,
+) -> Executor:
     """The canonical jobs→executor mapping used by the CLI and drivers."""
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
     if jobs == 1:
         return SerialExecutor()
-    return ParallelExecutor(jobs, start_method=start_method)
+    return ParallelExecutor(jobs, start_method=start_method, retry=retry)
 
 
 def map_chunks(

@@ -32,6 +32,10 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.resilience.checkpoint import CheckpointManager
 
 from repro.api.base import Capabilities, Miner
 from repro.api.registry import register
@@ -239,13 +243,17 @@ def parallel_pattern_fusion(
     jobs: int = 1,
     initial_pool: list[Pattern] | None = None,
     executor: Executor | None = None,
+    checkpoint: "CheckpointManager | None" = None,
 ):
     """Run Pattern-Fusion with per-seed work fanned across ``jobs`` workers.
 
     The final pool is a deterministic function of ``(db, minsup, config)``
     alone: ``jobs`` (and the executor backend) only changes where the work
     runs.  Pass an ``executor`` to reuse a warm pool across runs; otherwise
-    one is created from ``jobs`` and closed before returning.
+    one is created from ``jobs`` and closed before returning.  A
+    ``checkpoint`` manager makes the run resumable round by round — and
+    because checkpoint identity excludes execution knobs, a run may resume
+    under a different ``jobs`` value and still replay the same pool.
 
     Returns
     -------
@@ -256,7 +264,9 @@ def parallel_pattern_fusion(
     owns_executor = executor is None
     executor = executor if executor is not None else make_executor(jobs)
     try:
-        runner = PatternFusion(db, minsup, config, executor=executor)
+        runner = PatternFusion(
+            db, minsup, config, executor=executor, checkpoint=checkpoint
+        )
         return runner.run(initial_pool=initial_pool)
     finally:
         if owns_executor:
@@ -301,7 +311,10 @@ class ParallelFusionMiner(Miner):
         self.executor = executor
 
     def fuse(
-        self, db: TransactionDatabase, initial_pool: list[Pattern] | None = None
+        self,
+        db: TransactionDatabase,
+        initial_pool: list[Pattern] | None = None,
+        checkpoint: "CheckpointManager | None" = None,
     ):
         """Run and return the full result (history, iteration telemetry)."""
         config: ParallelFusionConfig = self.config  # type: ignore[assignment]
@@ -312,6 +325,7 @@ class ParallelFusionMiner(Miner):
             jobs=config.jobs,
             initial_pool=initial_pool,
             executor=self.executor,
+            checkpoint=checkpoint,
         )
 
     def mine(self, db: TransactionDatabase) -> MiningResult:

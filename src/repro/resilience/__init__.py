@@ -1,0 +1,59 @@
+"""Fault tolerance for the parallel engine, streaming, store, and serving.
+
+Three pieces, composable and individually inert when unused:
+
+* :mod:`repro.resilience.retry` + :mod:`repro.resilience.supervised` — the
+  :class:`RetryPolicy` and supervised dispatcher that let
+  ``ParallelExecutor.map_reduce`` survive worker loss: failed chunks are
+  retried on a fresh pool, reshard-split on repeated failure, and only
+  exhausted retries run serially — with the merged result bit-identical to
+  a serial run for any failure schedule.
+* :mod:`repro.resilience.checkpoint` — durable (fsync + atomic replace)
+  round/slide checkpoints so a SIGKILL'd fusion or streaming run resumes
+  from its last round instead of restarting, reproducing the uninterrupted
+  run's pool and run id exactly.
+* :mod:`repro.resilience.faults` — the seeded :class:`FaultSchedule`
+  (``$REPRO_FAULTS``) that injects kill / delay / raise / corrupt actions
+  at named points, deterministically, so the two properties above are
+  testable instead of aspirational (``repro chaos``).
+"""
+
+from repro.resilience.checkpoint import (
+    CheckpointError,
+    CheckpointManager,
+    decode_patterns,
+    decode_rng,
+    encode_patterns,
+    encode_rng,
+)
+from repro.resilience.faults import (
+    FaultAction,
+    FaultInjected,
+    FaultRule,
+    FaultSchedule,
+    apply_action,
+    fault_points,
+    schedule,
+    set_fault_schedule,
+)
+from repro.resilience.retry import RetryPolicy
+from repro.resilience.supervised import run_supervised
+
+__all__ = [
+    "CheckpointError",
+    "CheckpointManager",
+    "FaultAction",
+    "FaultInjected",
+    "FaultRule",
+    "FaultSchedule",
+    "RetryPolicy",
+    "apply_action",
+    "decode_patterns",
+    "decode_rng",
+    "encode_patterns",
+    "encode_rng",
+    "fault_points",
+    "run_supervised",
+    "schedule",
+    "set_fault_schedule",
+]

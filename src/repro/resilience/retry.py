@@ -1,0 +1,100 @@
+"""Retry policy for supervised chunk dispatch.
+
+One frozen dataclass holds every recovery knob, mirroring the config idiom
+of :mod:`repro.core.config`: validation at construction, JSON-trivial
+fields, and determinism by design — backoff jitter comes from a dedicated
+splitmix64 stream seeded by the policy, **never** from the algorithm RNG,
+so a failure schedule can stretch a run's wall clock without moving a
+single mining draw.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["RetryPolicy"]
+
+
+def _splitmix64(value: int) -> int:
+    value = (value + 0x9E3779B97F4A7C15) & 0xFFFFFFFFFFFFFFFF
+    value = ((value ^ (value >> 30)) * 0xBF58476D1CE4E5B9) & 0xFFFFFFFFFFFFFFFF
+    value = ((value ^ (value >> 27)) * 0x94D049BB133111EB) & 0xFFFFFFFFFFFFFFFF
+    return value ^ (value >> 31)
+
+
+@dataclass(frozen=True, slots=True)
+class RetryPolicy:
+    """How the supervised dispatcher treats a failed chunk.
+
+    Attributes
+    ----------
+    max_attempts:
+        Total tries per chunk (first dispatch included).  A chunk that fails
+        this many times is *exhausted* and runs serially in the driver —
+        the only remaining failure domain is the driver itself.
+    backoff_base / backoff_factor / backoff_max:
+        Exponential backoff between retry waves: attempt ``a`` sleeps
+        ``min(base * factor**(a - 1), max)`` seconds before redispatch.
+    jitter:
+        Fraction of the backoff delay added as deterministic jitter (drawn
+        from ``seed`` via splitmix64), de-synchronising retry waves without
+        touching any mining RNG.
+    chunk_deadline:
+        Wall-clock seconds a dispatch wave may run before its unfinished
+        chunks are declared hung: the pool is hard-terminated and the
+        stragglers retried.  ``None`` disables deadlines (a worker running
+        a huge chunk is indistinguishable from a hung one, so this is
+        opt-in).
+    reshard_after:
+        Once a chunk has failed this many attempts, the retry splits it in
+        two (list-shaped chunks only) so a poison or simply-too-big chunk
+        is isolated in ever smaller halves instead of being replayed whole.
+    seed:
+        Seed of the jitter stream.
+    """
+
+    max_attempts: int = 3
+    backoff_base: float = 0.05
+    backoff_factor: float = 2.0
+    backoff_max: float = 2.0
+    jitter: float = 0.25
+    chunk_deadline: float | None = None
+    reshard_after: int = 2
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.backoff_base < 0:
+            raise ValueError(f"backoff_base must be >= 0, got {self.backoff_base}")
+        if self.backoff_factor < 1.0:
+            raise ValueError(
+                f"backoff_factor must be >= 1, got {self.backoff_factor}"
+            )
+        if self.backoff_max < 0:
+            raise ValueError(f"backoff_max must be >= 0, got {self.backoff_max}")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError(f"jitter must be in [0, 1], got {self.jitter}")
+        if self.chunk_deadline is not None and self.chunk_deadline <= 0:
+            raise ValueError(
+                f"chunk_deadline must be positive, got {self.chunk_deadline}"
+            )
+        if self.reshard_after < 1:
+            raise ValueError(f"reshard_after must be >= 1, got {self.reshard_after}")
+
+    def delay(self, attempt: int, salt: int = 0) -> float:
+        """Backoff before dispatching attempt ``attempt`` (≥ 2) of a chunk.
+
+        Deterministic: the same (policy, attempt, salt) always sleeps the
+        same duration.  Attempt 1 is the initial dispatch and never waits.
+        """
+        if attempt <= 1:
+            return 0.0
+        base = min(
+            self.backoff_base * self.backoff_factor ** (attempt - 2),
+            self.backoff_max,
+        )
+        if self.jitter == 0.0 or base == 0.0:
+            return base
+        draw = _splitmix64(_splitmix64(self.seed ^ salt) ^ attempt) / 2**64
+        return base * (1.0 + self.jitter * draw)

@@ -14,9 +14,20 @@ design, not by timeout.
 Supervision: the parent reaps children; an unexpected exit is logged,
 counted (``repro_prefork_worker_restarts_total``), and answered with a
 fresh fork, so a crashed worker costs one in-flight request, not the
-deployment.  ``SIGTERM``/``SIGINT`` drain gracefully — workers stop
-accepting, finish what's queued, and exit; stragglers past the grace
-deadline are killed.
+deployment.  A worker that dies within ``crash_window`` seconds of its
+spawn is crash-looping — a bad config or poisoned store would otherwise
+turn the supervisor into a fork bomb — so its respawn is *delayed* with
+exponential backoff (``backoff_base`` doubling up to ``backoff_cap``,
+published as ``repro_prefork_respawn_backoff_seconds``) and the backoff
+resets once a replacement survives the window.  ``SIGTERM``/``SIGINT``
+drain gracefully — workers stop accepting, finish what's queued, and
+exit; stragglers past the grace deadline are killed.
+
+Fault injection (:mod:`repro.resilience.faults`): the supervisor consults
+the active schedule at ``prefork.worker_start`` before each fork — its
+counters live in the parent, so ``times=``-bounded kill rules stay
+bounded across respawns — and ships the action into the child; workers
+fire ``prefork.handler`` per dequeued request.
 
 Observability: every process keeps its *own* metrics registry (reset at
 worker start) and spools snapshots through
@@ -54,6 +65,7 @@ import itertools
 from repro.obs import clock, diag, metrics, trace
 from repro.obs import profile as profile_mod
 from repro.obs.logs import get_logger
+from repro.resilience.faults import apply_action, schedule as fault_schedule
 from repro.serve.app import PatternApp, _Handler
 from repro.serve.metrics import MetricsSpool
 from repro.store.store import PatternStore
@@ -97,6 +109,11 @@ _RESTARTS = metrics.counter(
 )
 _WORKERS = metrics.gauge(
     "repro_prefork_workers", "Worker processes the supervisor maintains"
+)
+_RESPAWN_BACKOFF = metrics.gauge(
+    "repro_prefork_respawn_backoff_seconds",
+    "Largest crash-loop respawn backoff currently applied to any worker "
+    "slot (0 when no slot is crash-looping)",
 )
 
 _REJECT_BODY = b'{"error": "server overloaded: request queue is full"}\n'
@@ -374,6 +391,10 @@ class WorkerServer:
             _QUEUE_WAIT.observe(wait)
             self._local.queue_wait = wait
             try:
+                # Injection point for chaos tests: a `raise` here costs one
+                # request (caught just below), a `kill` costs the worker —
+                # either way the fleet, not the client pool, absorbs it.
+                fault_schedule().fire("prefork.handler")
                 conn.settimeout(self.conn_timeout)
                 _Handler(conn, addr, self)
             except Exception:
@@ -413,6 +434,9 @@ class PreforkServer:
         grace: float = 10.0,
         trace_stderr: bool = False,
         trace_file: str | os.PathLike[str] | None = None,
+        crash_window: float = 5.0,
+        backoff_base: float = 0.5,
+        backoff_cap: float = 30.0,
     ) -> None:
         if not hasattr(os, "fork"):
             raise RuntimeError(
@@ -421,11 +445,22 @@ class PreforkServer:
             )
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
+        if crash_window < 0:
+            raise ValueError(f"crash_window must be >= 0, got {crash_window}")
+        if backoff_base <= 0:
+            raise ValueError(f"backoff_base must be > 0, got {backoff_base}")
+        if backoff_cap < backoff_base:
+            raise ValueError(
+                f"backoff_cap must be >= backoff_base, got {backoff_cap}"
+            )
         self.store = store
         self.workers = workers
         self.queue_depth = queue_depth
         self.threads = threads
         self.grace = grace
+        self.crash_window = crash_window
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
         self.trace_stderr = trace_stderr
         self.trace_file = None if trace_file is None else os.fspath(trace_file)
         self._warm = warm
@@ -433,6 +468,9 @@ class PreforkServer:
         self._socket = socket.create_server((host, port), backlog=128)
         self._socket.settimeout(_ACCEPT_TIMEOUT)
         self._pids: dict[int, int] = {}  # pid -> worker index
+        self._spawned_at: dict[int, float] = {}  # index -> monotonic spawn time
+        self._backoff: dict[int, float] = {}  # index -> current backoff seconds
+        self._respawn_at: dict[int, float] = {}  # index -> due monotonic time
         self._spool: MetricsSpool | None = None
         self._stop = False
         self._started = False
@@ -483,10 +521,15 @@ class PreforkServer:
                 self._spawn(index)
             self._publish_pids()
             while not self._stop:
+                self._respawn_due()
                 try:
                     pid, status = os.waitpid(-1, os.WNOHANG)
-                except ChildProcessError:  # pragma: no cover - all gone
-                    break
+                except ChildProcessError:
+                    # Every child is dead; only crash-loop backoffs remain.
+                    if not self._respawn_at:  # pragma: no cover - all gone
+                        break
+                    time.sleep(0.05)
+                    continue
                 if pid == 0:
                     time.sleep(0.05)
                     continue
@@ -494,15 +537,59 @@ class PreforkServer:
                 if index is None or self._stop:
                     continue
                 _RESTARTS.inc()
-                _LOG.warning(
-                    "worker died; respawning",
-                    extra={"worker": index, "died_pid": pid, "status": status},
-                )
+                lifetime = time.monotonic() - self._spawned_at.get(index, 0.0)
+                if lifetime < self.crash_window:
+                    # Crash loop: delay the respawn, doubling per quick death.
+                    backoff = min(
+                        self.backoff_cap,
+                        max(self.backoff_base, 2 * self._backoff.get(index, 0.0)),
+                    )
+                    self._backoff[index] = backoff
+                    self._respawn_at[index] = time.monotonic() + backoff
+                    _LOG.warning(
+                        "worker crash-looped; respawn delayed",
+                        extra={
+                            "worker": index, "died_pid": pid, "status": status,
+                            "lifetime_seconds": round(lifetime, 3),
+                            "backoff_seconds": backoff,
+                        },
+                    )
+                else:
+                    # A full crash_window of service clears the slot's record.
+                    self._backoff.pop(index, None)
+                    _LOG.warning(
+                        "worker died; respawning",
+                        extra={"worker": index, "died_pid": pid, "status": status},
+                    )
+                    self._spawn(index)
+                    self._publish_pids()
+                _RESPAWN_BACKOFF.set(max(self._backoff.values(), default=0.0))
                 self._spool.flush(_SUPERVISOR)
-                self._spawn(index)
-                self._publish_pids()
         finally:
             self._shutdown(previous)
+
+    def _respawn_due(self) -> None:
+        """Fork replacements whose crash-loop backoff has elapsed, and reset
+        the backoff of any slot whose worker has outlived the crash window."""
+        now = time.monotonic()
+        due = [i for i, at in self._respawn_at.items() if at <= now]
+        for index in due:
+            del self._respawn_at[index]
+            self._spawn(index)
+        if due:
+            self._publish_pids()
+        settled = False
+        for index in list(self._backoff):
+            if index in self._respawn_at:
+                continue
+            spawned = self._spawned_at.get(index)
+            if spawned is not None and now - spawned >= self.crash_window:
+                del self._backoff[index]
+                settled = True
+        if settled:
+            _RESPAWN_BACKOFF.set(max(self._backoff.values(), default=0.0))
+            if self._spool is not None:
+                self._spool.flush(_SUPERVISOR)
 
     def _publish_pids(self) -> None:
         """Spool worker-id → pid so any worker can SIGUSR1 its siblings."""
@@ -515,10 +602,15 @@ class PreforkServer:
         self._stop = True
 
     def _spawn(self, index: int) -> None:
+        # Consulted in the parent so `times=`-bounded kill rules count every
+        # spawn, no matter how many children the faults themselves destroy.
+        start_fault = fault_schedule().check("prefork.worker_start")
         pid = os.fork()
         if pid == 0:
             code = 0
             try:
+                if start_fault is not None:
+                    apply_action(start_fault)
                 self._worker_main(index)
             except BaseException:
                 _LOG.exception("worker crashed", extra={"worker": index})
@@ -527,6 +619,7 @@ class PreforkServer:
                 # Never return into the supervisor's (or the CLI's) stack.
                 os._exit(code)
         self._pids[pid] = index
+        self._spawned_at[index] = time.monotonic()
 
     def _configure_worker_tracing(self, index: int) -> None:
         """Per-worker trace sinks: own files, never the parent's handles.

@@ -51,6 +51,7 @@ from pathlib import Path
 from typing import TYPE_CHECKING, Any
 
 from repro.kernels.matrix import TidsetMatrix
+from repro.resilience.faults import schedule as fault_schedule
 
 if TYPE_CHECKING:  # runtime import would cycle through repro.mining
     from repro.mining.results import MiningResult, Pattern
@@ -138,10 +139,34 @@ def write_binary_run(
     )[:-4]
     header = header_head + _U32.pack(zlib.crc32(header_head))
 
+    payload = fault_schedule().corrupting("store.write", header + body + words)
     tmp = path.with_name(path.name + f".tmp{os.getpid()}")
-    tmp.write_bytes(header + body + words)
+    fd = os.open(tmp, os.O_WRONLY | os.O_CREAT | os.O_TRUNC, 0o644)
+    try:
+        os.write(fd, payload)
+        # Flush before the rename lands: without it a crash can expose the
+        # new name with zero-length or partial data — the checksums would
+        # catch it, but the run would be lost instead of never-visible.
+        os.fsync(fd)
+    finally:
+        os.close(fd)
     os.replace(tmp, path)
+    _fsync_parent(path)
     return path
+
+
+def _fsync_parent(path: Path) -> None:
+    """Flush the directory entry so the rename itself survives power loss."""
+    try:
+        fd = os.open(path.parent, os.O_RDONLY)
+    except OSError:  # pragma: no cover - exotic filesystems
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - fsync on dirs unsupported
+        pass
+    finally:
+        os.close(fd)
 
 
 class BinaryRun:
@@ -252,7 +277,12 @@ def read_binary_run(
     """
     path = Path(path)
     with path.open("rb") as handle:
-        raw_header = handle.read(_HEADER.size)
+        # Chaos point: a corrupt rule flips one header byte (tripping the
+        # header CRC below exactly as real disk corruption would); delay
+        # and raise rules apply as themselves.
+        raw_header = fault_schedule().corrupting(
+            "store.read", handle.read(_HEADER.size)
+        )
         if len(raw_header) < _HEADER.size:
             raise BinaryFormatError(
                 path,

@@ -37,8 +37,10 @@ from repro.db.stats import dataset_fingerprint
 from repro.db.transaction_db import TransactionDatabase
 from repro.mining.results import MiningResult, Pattern
 from repro.obs import metrics, trace
+from repro.resilience.faults import schedule as fault_schedule
 from repro.store.binfmt import (
     BIN_VERSION,
+    BinaryFormatError,
     BinaryRun,
     read_binary_run,
     write_binary_run,
@@ -55,6 +57,18 @@ from repro.store.format import (
 __all__ = ["StoredRun", "PatternStore"]
 
 _STREAM_NAME = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]*$")
+_TEMP_SUFFIX = re.compile(r"\.tmp(\d+)$")
+
+
+def _pid_alive(pid: int) -> bool:
+    """Whether ``pid`` names a live process (EPERM counts as alive)."""
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # pragma: no cover - other-user process
+        return True
+    return True
 
 _SAVES = metrics.counter(
     "repro_store_saves_total",
@@ -73,6 +87,15 @@ _SAVE_SECONDS = metrics.histogram(
 )
 _LOAD_SECONDS = metrics.histogram(
     "repro_store_load_seconds", "PatternStore.load latency"
+)
+_GC_TEMP = metrics.counter(
+    "repro_store_gc_temp_files_total",
+    "Orphaned temp files removed by gc_temp_files",
+)
+_VERIFIED = metrics.counter(
+    "repro_store_verified_runs_total",
+    "Runs checked by PatternStore.verify, by outcome",
+    ("outcome",),
 )
 
 
@@ -389,6 +412,104 @@ class PatternStore:
         return None
 
     # ------------------------------------------------------------------
+    # Crash safety: orphan sweep and integrity audit
+    # ------------------------------------------------------------------
+
+    def gc_temp_files(self) -> list[Path]:
+        """Remove orphaned ``.tmp<pid>`` files left by killed writers.
+
+        Every atomic write stages through ``<name>.tmp<pid>``; a writer
+        killed between staging and rename strands that file forever.  A
+        temp file is swept only when its embedded pid is no longer alive —
+        a *live* writer's staging file is mid-flight, not garbage.  Returns
+        the paths removed (``repro store ls`` runs this sweep).
+        """
+        removed: list[Path] = []
+        if not self.root.exists():
+            return removed
+        for candidate in self.root.rglob("*"):
+            if not candidate.is_file():
+                continue
+            match = _TEMP_SUFFIX.search(candidate.name)
+            if match is None:
+                continue
+            pid = int(match.group(1))
+            if pid != os.getpid() and _pid_alive(pid):
+                continue  # a live writer (not us) is mid-write
+            if pid == os.getpid():
+                # Our own pid: nothing in this process writes concurrently
+                # with a gc sweep, so the file is a leftover from a previous
+                # process that happened to get the same pid — still garbage.
+                pass
+            try:
+                candidate.unlink()
+            except OSError:  # pragma: no cover - racing another sweeper
+                continue
+            removed.append(candidate)
+        _GC_TEMP.inc(len(removed))
+        return removed
+
+    def verify(self, run_id: str | None = None) -> list[dict[str, Any]]:
+        """Audit run integrity; reports corruption instead of raising.
+
+        For each run (or just ``run_id``): parse ``meta.json``, decode the
+        v1 text payload, and read the binary payload under **all three**
+        CRCs — header and meta/table at open, plus the word-region checksum
+        that mmap opens normally defer, exercised here exactly the way a
+        serving cold-open would see it (:meth:`BinaryRun.verify_words` on
+        the mapping).  Pattern counts are cross-checked against the
+        metadata.  Returns one report per run: ``{"run_id", "ok",
+        "checks", "errors"}``.
+        """
+        if run_id is not None and run_id not in self:
+            raise KeyError(f"no run {run_id!r} in store {self.root}")
+        targets = [run_id] if run_id is not None else self.run_ids()
+        reports: list[dict[str, Any]] = []
+        for target in targets:
+            run_dir = self._runs_dir / target
+            checks: list[str] = []
+            errors: list[str] = []
+            meta: dict[str, Any] | None = None
+            try:
+                meta = self.meta(target)
+                checks.append("meta")
+            except Exception as error:  # noqa: BLE001 - audit must not raise
+                errors.append(f"meta.json: {error}")
+            text_path = run_dir / "patterns.txt"
+            if text_path.exists():
+                try:
+                    patterns = decode_patterns(text_path.read_text())
+                    checks.append("v1")
+                    if meta is not None and meta.get("n_patterns") != len(patterns):
+                        errors.append(
+                            f"patterns.txt: {len(patterns)} patterns but meta "
+                            f"declares {meta.get('n_patterns')}"
+                        )
+                except Exception as error:  # noqa: BLE001
+                    errors.append(f"patterns.txt: {error}")
+            bin_path = run_dir / "patterns.bin"
+            if bin_path.exists():
+                try:
+                    run = read_binary_run(bin_path, verify=True, verify_words=False)
+                    run.verify_words()  # the mmap-deferred third CRC
+                    checks.append("binary")
+                    if meta is not None and meta.get("n_patterns") != run.n_patterns:
+                        errors.append(
+                            f"patterns.bin: {run.n_patterns} patterns but meta "
+                            f"declares {meta.get('n_patterns')}"
+                        )
+                except BinaryFormatError as error:
+                    errors.append(f"patterns.bin: {error.reason}")
+                except Exception as error:  # noqa: BLE001
+                    errors.append(f"patterns.bin: {error}")
+            ok = not errors
+            _VERIFIED.inc(outcome="ok" if ok else "corrupt")
+            reports.append(
+                {"run_id": target, "ok": ok, "checks": checks, "errors": errors}
+            )
+        return reports
+
+    # ------------------------------------------------------------------
     # Streams (persisted DriftReport slides)
     # ------------------------------------------------------------------
 
@@ -433,7 +554,36 @@ class PatternStore:
 
 
 def _atomic_write_text(path: Path, text: str) -> None:
-    """Write via temp file + rename so readers never see partial content."""
+    """Durably write via temp file + fsync + rename.
+
+    Readers never see partial content (the rename is atomic), and the data
+    is flushed *before* the rename lands — without the fsync a crash right
+    after ``os.replace`` can leave the new name pointing at zero-length
+    data, which is exactly the torn state the atomic write exists to
+    prevent.  Orphaned ``.tmp<pid>`` files from a killed writer are swept
+    by :meth:`PatternStore.gc_temp_files`.
+    """
+    fault_schedule().fire("store.write")
     tmp = path.with_name(path.name + f".tmp{os.getpid()}")
-    tmp.write_text(text)
+    fd = os.open(tmp, os.O_WRONLY | os.O_CREAT | os.O_TRUNC, 0o644)
+    try:
+        os.write(fd, text.encode())
+        os.fsync(fd)
+    finally:
+        os.close(fd)
     os.replace(tmp, path)
+    _fsync_dir(path.parent)
+
+
+def _fsync_dir(directory: Path) -> None:
+    """Flush a directory entry so the rename itself survives power loss."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # pragma: no cover - exotic filesystems
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - fsync on dirs unsupported
+        pass
+    finally:
+        os.close(fd)

@@ -33,7 +33,7 @@ assert exactly this.
 from __future__ import annotations
 
 from collections.abc import Iterable
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 
 from repro.api.base import Capabilities, Miner
 from repro.api.registry import register
@@ -52,6 +52,11 @@ from repro.kernels.backend import backend as kernels_backend
 from repro.mining.levelwise import mine_up_to_size
 from repro.mining.results import MiningResult, Pattern, largest_patterns
 from repro.obs import clock, metrics, trace
+from repro.resilience.checkpoint import (
+    CheckpointManager,
+    decode_patterns,
+    encode_patterns,
+)
 from repro.streaming.report import DriftReport, SlideStats
 from repro.streaming.window import SlidingWindowDatabase
 
@@ -164,6 +169,14 @@ class IncrementalPatternFusion:
     window:
         Optional pre-built :class:`SlidingWindowDatabase` to adopt (its
         capacity wins); by default a fresh window of ``capacity`` is created.
+    checkpoint:
+        Optional :class:`~repro.resilience.CheckpointManager`.  Driver state
+        — window rows, slide count, both maintained pools — is durably
+        persisted every ``checkpoint.interval`` slides, and a matching
+        checkpoint on disk is restored at construction, so a killed stream
+        continues from its last slide.  The per-slide RNG schedule is
+        stateless (:func:`slide_seed`), so the resumed stream's pools stay
+        bit-identical to an uninterrupted run fed the same batches.
     """
 
     def __init__(
@@ -174,6 +187,7 @@ class IncrementalPatternFusion:
         executor: Executor | None = None,
         policy: str = "auto",
         window: SlidingWindowDatabase | None = None,
+        checkpoint: CheckpointManager | None = None,
     ) -> None:
         if policy not in ("auto", "always"):
             raise ValueError(f"policy must be 'auto' or 'always', got {policy!r}")
@@ -188,6 +202,13 @@ class IncrementalPatternFusion:
         self._slides = 0
         self._minsup_abs: int | None = None
         self._stream_span = (self.window.start, self.window.end)
+        self._checkpoint = checkpoint
+        if checkpoint is not None:
+            if checkpoint.identity is None:
+                checkpoint.identity = self._checkpoint_identity()
+            state = checkpoint.load()
+            if state is not None:
+                self.load_state(state)
 
     # ------------------------------------------------------------------
     # Accessors
@@ -330,7 +351,69 @@ class IncrementalPatternFusion:
             self._slides += 1
             self._minsup_abs = minsup_abs
             self._stream_span = (window.start, window.end)
+            if self._checkpoint is not None:
+                self._checkpoint.offer(self.state_dict)
             return stats
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+
+    def _checkpoint_identity(self) -> dict:
+        """What stream a checkpoint belongs to (algorithm + window policy)."""
+        return {
+            "algorithm": "stream_fusion",
+            "config": asdict(self.config),
+            "minsup": self.minsup,
+            "capacity": self.window.capacity,
+            "policy": self.policy,
+        }
+
+    def state_dict(self) -> dict:
+        """The complete driver state, JSON-shaped.
+
+        Window rows are stored oldest-first, exactly the arrival order of
+        the current window — window-local tidsets (bit ``i`` = row ``i``)
+        stay valid against the rebuilt window, and the original stream span
+        is carried so the out-of-band check remains coherent after resume.
+        """
+        return {
+            "kind": "stream",
+            "rows": [sorted(row) for row in self.window.transactions],
+            "span": [self.window.start, self.window.end],
+            "slides": self._slides,
+            "minsup_abs": self._minsup_abs,
+            "initial": [
+                [sorted(items), format(tidset, "x")]
+                for items, tidset in self._initial.items()
+            ],
+            "patterns": encode_patterns(self._patterns),
+            "report": [asdict(stats) for stats in self.report.slides],
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore :meth:`state_dict` output into this (fresh) driver."""
+        if state.get("kind") != "stream":
+            raise ValueError(
+                f"not a streaming checkpoint: kind={state.get('kind')!r}"
+            )
+        window = SlidingWindowDatabase(self.window.capacity)
+        window.extend(state["rows"])
+        self.window = window
+        self._slides = int(state["slides"])
+        minsup_abs = state["minsup_abs"]
+        self._minsup_abs = None if minsup_abs is None else int(minsup_abs)
+        self._initial = {
+            frozenset(items): int(tidset_hex, 16)
+            for items, tidset_hex in state["initial"]
+        }
+        self._patterns = decode_patterns(state["patterns"])
+        self.report = DriftReport()
+        for entry in state["report"]:
+            self.report.record(SlideStats(**entry))
+        # The rebuilt window restarts its global positions at zero; adopting
+        # its span keeps the next slide's out-of-band check consistent.
+        self._stream_span = (window.start, window.end)
 
     # ------------------------------------------------------------------
     # Pool maintenance
@@ -530,9 +613,17 @@ class StreamFusionMiner(Miner):
     capabilities = Capabilities(colossal=True, streaming=True, parallel=True)
     config_type = StreamFusionConfig
 
-    def __init__(self, config=None, *, executor: Executor | None = None, **overrides):
+    def __init__(
+        self,
+        config=None,
+        *,
+        executor: Executor | None = None,
+        checkpoint: CheckpointManager | None = None,
+        **overrides,
+    ):
         super().__init__(config, **overrides)
         self._executor = executor
+        self._checkpoint = checkpoint
         self._owns_executor = False
         self._driver: IncrementalPatternFusion | None = None
 
@@ -545,6 +636,7 @@ class StreamFusionMiner(Miner):
             config.fusion_config(),
             executor=executor,
             policy=config.policy,
+            checkpoint=self._checkpoint,
         )
 
     @staticmethod

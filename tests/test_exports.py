@@ -22,6 +22,7 @@ PUBLIC_PACKAGES = [
     "repro.kernels",
     "repro.mining",
     "repro.obs",
+    "repro.resilience",
     "repro.sequences",
     "repro.serve",
     "repro.store",

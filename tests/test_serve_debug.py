@@ -188,9 +188,17 @@ class TestTraceIdHeader:
         sink = trace.RingBufferSink()
         trace.TRACER.configure(enabled=True, sinks=[sink])
         request(served.url + "/runs", headers={"X-Trace-Id": "stitch-1"})
-        matching = [
-            span for span in sink.spans() if span["trace_id"] == "stitch-1"
-        ]
+        # The handler emits its span record *after* the response bytes go
+        # out, so the client can observe the response before the span lands
+        # in the sink — poll briefly instead of asserting immediately.
+        deadline = time.monotonic() + 5
+        matching: list = []
+        while time.monotonic() < deadline and not matching:
+            matching = [
+                span for span in sink.spans() if span["trace_id"] == "stitch-1"
+            ]
+            if not matching:
+                time.sleep(0.02)
         assert matching
         assert all(span["trace_id"] == "stitch-1" for span in matching)
 

@@ -48,11 +48,12 @@ def _populate(root) -> PatternStore:
     return store
 
 
-def _launch(store_root, *extra):
+def _launch(store_root, *extra, env_extra=None):
     env = dict(os.environ)
     env["PYTHONPATH"] = str(REPO_SRC) + (
         os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
     )
+    env.update(env_extra or {})
     proc = subprocess.Popen(
         [
             sys.executable, "-m", "repro", "serve", "--store", str(store_root),
@@ -157,6 +158,71 @@ class TestPrefork:
             time.sleep(0.2)
         assert len(pids) == 2
         assert victim not in pids
+
+
+class TestCrashLoopThrottle:
+    def test_start_killed_workers_respawn_with_backoff(self, tmp_path):
+        """Three spawn-time kills: the fleet still recovers, under backoff.
+
+        ``kill@prefork.worker_start:first=1,times=3`` murders the first
+        three spawned workers the instant they start — the crash-loop case
+        the throttle exists for.  The supervisor must keep respawning (with
+        growing, gauge-visible delay) until the schedule is exhausted and
+        end up with a whole fleet, then still drain cleanly on SIGTERM.
+        """
+        store = _populate(tmp_path / "store")
+        proc, url = _launch(
+            store.root,
+            env_extra={"REPRO_FAULTS": "kill@prefork.worker_start:first=1,times=3"},
+        )
+        try:
+            deadline = time.monotonic() + 30
+            pids: set = set()
+            while time.monotonic() < deadline:
+                try:
+                    pids = _worker_pids(url, rounds=8)
+                except OSError:
+                    time.sleep(0.2)  # both initial workers may be dead still
+                    continue
+                if len(pids) == 2:
+                    break
+                time.sleep(0.2)
+            assert len(pids) == 2, "fleet never recovered from the crash loop"
+
+            deadline = time.monotonic() + 15
+            body = ""
+            while time.monotonic() < deadline:
+                _, body = _get(url, "/metrics")
+                if "repro_prefork_respawn_backoff_seconds" in body:
+                    break
+                time.sleep(0.3)
+            assert "repro_prefork_respawn_backoff_seconds" in body
+            restarts = re.search(
+                r"repro_prefork_worker_restarts_total\{[^}]*\} (\d+)", body
+            )
+            assert restarts and int(restarts.group(1)) >= 3
+            injected = re.search(
+                r'repro_faults_injected_total\{[^}]*'
+                r'point="prefork\.worker_start"[^}]*\} (\d+)',
+                body,
+            )
+            assert injected and int(injected.group(1)) == 3  # schedule bounded
+        finally:
+            proc.send_signal(signal.SIGTERM)
+            proc.communicate(timeout=30)
+        assert proc.returncode == 0
+
+    def test_throttle_knob_validation(self, tmp_path):
+        from repro.serve.prefork import PreforkServer
+
+        store = _populate(tmp_path / "store")
+        for kwargs in (
+            {"crash_window": -1.0},
+            {"backoff_base": 0.0},
+            {"backoff_base": 2.0, "backoff_cap": 1.0},
+        ):
+            with pytest.raises(ValueError):
+                PreforkServer(store, port=0, **kwargs)
 
 
 class TestDrain:
